@@ -1,0 +1,314 @@
+package checknrun
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/objstore"
+)
+
+func newSystem(t *testing.T, cfg Config) *System {
+	t.Helper()
+	if cfg.JobID == "" {
+		cfg.JobID = "facade-test"
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.BatchesPerInterval == 0 {
+		cfg.BatchesPerInterval = 2
+	}
+	sys, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	return sys
+}
+
+func testCtx(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestOpenRequiresJobID(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Fatal("empty JobID should error")
+	}
+}
+
+func TestOpenRejectsTableMismatch(t *testing.T) {
+	cfg := Config{JobID: "x"}
+	cfg.Data.TableRows = []int{10} // model default has 4 tables
+	cfg.Data.DenseDim = 13
+	cfg.Data.ZipfS = 1.2
+	cfg.Data.ZipfV = 1
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("table count mismatch should error")
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	sys := newSystem(t, Config{ExpectedRestores: 1})
+	ctx := testCtx(t)
+	man, err := sys.RunInterval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Kind != "full" {
+		t.Fatalf("first checkpoint kind = %s", man.Kind)
+	}
+	if sys.QuantBits() != 2 {
+		t.Fatalf("bits = %d, want 2 for ExpectedRestores=1", sys.QuantBits())
+	}
+	if err := sys.Run(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.Manifests()); got != 3 {
+		t.Fatalf("manifests = %d", got)
+	}
+	// Crash and recover.
+	sys.Model().Sparse.Tables[0].Weights.Set(0, 0, 42)
+	res, err := sys.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Step == 0 {
+		t.Fatal("restored step should be positive")
+	}
+	if sys.Restores() != 1 {
+		t.Fatalf("restores = %d", sys.Restores())
+	}
+	// Keep training after recovery.
+	if _, err := sys.RunInterval(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFP32Mode(t *testing.T) {
+	sys := newSystem(t, Config{ExpectedRestores: -1})
+	if sys.QuantBits() != 32 {
+		t.Fatalf("bits = %d, want 32 (fp32)", sys.QuantBits())
+	}
+}
+
+func TestStoreUsageAccounting(t *testing.T) {
+	sys := newSystem(t, Config{ExpectedRestores: -1})
+	ctx := testCtx(t)
+	if _, err := sys.RunInterval(ctx); err != nil {
+		t.Fatal(err)
+	}
+	u, ok := sys.StoreUsage()
+	if !ok {
+		t.Fatal("in-process store should expose usage")
+	}
+	if u.BytesWritten <= 0 || u.Objects <= 0 {
+		t.Fatalf("usage = %+v", u)
+	}
+}
+
+func TestStallFractionPositive(t *testing.T) {
+	sys := newSystem(t, Config{})
+	ctx := testCtx(t)
+	if _, err := sys.RunInterval(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if f := sys.StallFraction(); f <= 0 || f >= 1 {
+		t.Fatalf("stall fraction = %v", f)
+	}
+	st := sys.TrainerStats()
+	if st.Batches == 0 || st.Snapshots != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestKeepLastGC(t *testing.T) {
+	sys := newSystem(t, Config{KeepLast: 1, Policy: PolicyFull, ExpectedRestores: -1})
+	ctx := testCtx(t)
+	if err := sys.Run(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	cks, err := sys.Checkpoints(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cks) != 1 {
+		t.Fatalf("retained %d checkpoints, want 1", len(cks))
+	}
+}
+
+func TestKeepAll(t *testing.T) {
+	sys := newSystem(t, Config{KeepLast: -1, Policy: PolicyFull, ExpectedRestores: -1})
+	ctx := testCtx(t)
+	if err := sys.Run(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	cks, err := sys.Checkpoints(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cks) != 3 {
+		t.Fatalf("retained %d checkpoints, want 3", len(cks))
+	}
+}
+
+func TestOverTCPStore(t *testing.T) {
+	backend := objstore.NewMemStore(objstore.MemConfig{})
+	srv, err := objstore.NewServer("127.0.0.1:0", backend, objstore.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sys := newSystem(t, Config{StoreAddr: srv.Addr(), ExpectedRestores: 2})
+	ctx := testCtx(t)
+	if err := sys.Run(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Server-side accounting sees the uploads.
+	if u := backend.Usage(); u.Objects == 0 || u.BytesWritten == 0 {
+		t.Fatalf("server usage = %+v", u)
+	}
+	// Recovery over TCP.
+	if _, err := sys.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecondSystemResumesJob(t *testing.T) {
+	// A new System (fresh process after a crash) recovers the previous
+	// job from the shared store.
+	backend := objstore.NewMemStore(objstore.MemConfig{})
+	srv, err := objstore.NewServer("127.0.0.1:0", backend, objstore.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := testCtx(t)
+
+	first := newSystem(t, Config{JobID: "shared-job", StoreAddr: srv.Addr(), ExpectedRestores: -1})
+	if err := first.Run(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	first.Close() // "crash"
+
+	second := newSystem(t, Config{JobID: "shared-job", StoreAddr: srv.Addr(), ExpectedRestores: -1})
+	res, err := second.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Step != 4 {
+		t.Fatalf("restored step = %d, want 4", res.Step)
+	}
+	if _, err := second.RunInterval(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactAndRegressionKnobs(t *testing.T) {
+	sys := newSystem(t, Config{
+		ExpectedRestores: 3,
+		CompactMetadata:  true,
+		Predictor:        PredictorRegression,
+	})
+	ctx := testCtx(t)
+	if err := sys.Run(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Compact checkpoints restore correctly.
+	if _, err := sys.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunInterval(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactMetadataReducesPayload(t *testing.T) {
+	run := func(compact bool) int64 {
+		sys := newSystem(t, Config{
+			JobID:            "compact-cmp",
+			ExpectedRestores: 10, // 4-bit
+			CompactMetadata:  compact,
+			Policy:           PolicyFull,
+		})
+		ctx := testCtx(t)
+		man, err := sys.RunInterval(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return man.PayloadBytes
+	}
+	v1, v2 := run(false), run(true)
+	if v2 >= v1 {
+		t.Fatalf("compact payload %d should be below v1 %d", v2, v1)
+	}
+}
+
+func TestPropertyRestoreEqualsLiveAcrossPolicies(t *testing.T) {
+	// Property: for any policy and any number of fp32 intervals, restoring
+	// the latest checkpoint into a fresh system reproduces the live
+	// model's predictions exactly.
+	for _, policy := range []Policy{PolicyFull, PolicyOneShot, PolicyConsecutive, PolicyIntermittent} {
+		for _, intervals := range []int{1, 3, 5} {
+			backend := objstore.NewMemStore(objstore.MemConfig{})
+			srv, err := objstore.NewServer("127.0.0.1:0", backend, objstore.ServerConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobID := "prop"
+			live := newSystem(t, Config{
+				JobID: jobID, StoreAddr: srv.Addr(),
+				Policy: policy, ExpectedRestores: -1, KeepLast: -1,
+			})
+			ctx := testCtx(t)
+			if err := live.Run(ctx, intervals); err != nil {
+				t.Fatal(err)
+			}
+			restored := newSystem(t, Config{
+				JobID: jobID, StoreAddr: srv.Addr(),
+				Policy: policy, ExpectedRestores: -1, KeepLast: -1,
+			})
+			if _, err := restored.Recover(ctx); err != nil {
+				t.Fatalf("policy=%v intervals=%d: %v", policy, intervals, err)
+			}
+			a, b := live.Model(), restored.Model()
+			for i := 0; i < 16; i++ {
+				// Compare on deterministic weight samples.
+				wa := a.Sparse.Tables[0].Weights.Data[i*37]
+				wb := b.Sparse.Tables[0].Weights.Data[i*37]
+				if wa != wb {
+					t.Fatalf("policy=%v intervals=%d: weight %d differs", policy, intervals, i)
+				}
+			}
+			restored.Close()
+			live.Close()
+			srv.Close()
+		}
+	}
+}
+
+func TestVerifyThroughFacade(t *testing.T) {
+	sys := newSystem(t, Config{ExpectedRestores: 1, KeepLast: -1})
+	ctx := testCtx(t)
+	if err := sys.Run(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	results, err := sys.VerifyAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("scrubbed %d, want 2", len(results))
+	}
+	for _, v := range results {
+		if !v.OK() {
+			t.Fatalf("checkpoint %d flagged: %v", v.ID, v.Problems)
+		}
+	}
+	v, err := sys.Verify(ctx, 0)
+	if err != nil || !v.OK() {
+		t.Fatalf("single verify: %v %v", v, err)
+	}
+}

@@ -1,0 +1,172 @@
+// Command benchgen regenerates every figure from the Check-N-Run paper's
+// motivation and evaluation sections and prints them as text tables.
+//
+// Usage:
+//
+//	benchgen                # all figures
+//	benchgen -fig 9         # one figure
+//	benchgen -quick         # reduced sizes for a fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,9,10,11,12,13,14,15,16,17,zstd,stall or all")
+	quick := flag.Bool("quick", false, "reduced workload sizes")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "benchgen: ", 0)
+
+	type gen struct {
+		id  string
+		run func() ([]*experiments.Result, error)
+	}
+	var cv *experiments.CheckpointVectors
+	checkpoint := func() (*experiments.CheckpointVectors, error) {
+		if cv != nil {
+			return cv, nil
+		}
+		var err error
+		if *quick {
+			cv, err = experiments.TrainedCheckpoint(512, 16, 15, 64, 7)
+		} else {
+			cv, err = experiments.DefaultCheckpoint()
+		}
+		return cv, err
+	}
+	fig5cfg := experiments.DefaultFig5()
+	fig6cfg := experiments.DefaultFig6()
+	incCfg := experiments.DefaultIncremental()
+	fig14cfg := experiments.DefaultFig14()
+	if *quick {
+		fig5cfg.Samples = 20000
+		fig6cfg.SamplesPerMinute = 50
+		incCfg.Intervals = 8
+		incCfg.RowsPerTable = 1024
+		fig14cfg.TotalBatches = 60
+		fig14cfg.Trials = 2
+		fig14cfg.Restores = map[int][]int{2: {1, 2}, 3: {2, 3}, 4: {10, 20}}
+	}
+
+	one := func(r *experiments.Result, err error) ([]*experiments.Result, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Result{r}, nil
+	}
+
+	gens := []gen{
+		{"3", func() ([]*experiments.Result, error) {
+			return one(experiments.Fig3FailureCDF(experiments.DefaultFig3()), nil)
+		}},
+		{"4", func() ([]*experiments.Result, error) {
+			return one(experiments.Fig4ModelGrowth(), nil)
+		}},
+		{"5", func() ([]*experiments.Result, error) {
+			return one(experiments.Fig5ModifiedFraction(fig5cfg))
+		}},
+		{"6", func() ([]*experiments.Result, error) {
+			return one(experiments.Fig6IntervalModified(fig6cfg))
+		}},
+		{"9", func() ([]*experiments.Result, error) {
+			c, err := checkpoint()
+			if err != nil {
+				return nil, err
+			}
+			return one(experiments.Fig9QuantError(c))
+		}},
+		{"10", func() ([]*experiments.Result, error) {
+			c, err := checkpoint()
+			if err != nil {
+				return nil, err
+			}
+			return one(experiments.Fig10AdaptiveBins(c, nil))
+		}},
+		{"11", func() ([]*experiments.Result, error) {
+			c, err := checkpoint()
+			if err != nil {
+				return nil, err
+			}
+			return one(experiments.Fig11AdaptiveRatio(c, nil))
+		}},
+		{"12", func() ([]*experiments.Result, error) {
+			c, err := checkpoint()
+			if err != nil {
+				return nil, err
+			}
+			return one(experiments.Fig12QuantLatencyBins(c, nil))
+		}},
+		{"13", func() ([]*experiments.Result, error) {
+			c, err := checkpoint()
+			if err != nil {
+				return nil, err
+			}
+			return one(experiments.Fig13QuantLatencyRatio(c, nil))
+		}},
+		{"14", func() ([]*experiments.Result, error) {
+			var out []*experiments.Result
+			for _, bits := range []int{2, 3, 4} {
+				r, err := experiments.Fig14AccuracyDegradation(fig14cfg, bits)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r)
+			}
+			sum, err := experiments.Fig14Summary(fig14cfg)
+			if err != nil {
+				return nil, err
+			}
+			return append(out, sum), nil
+		}},
+		{"15", func() ([]*experiments.Result, error) {
+			return one(experiments.Fig15IncrementalBandwidth(incCfg))
+		}},
+		{"16", func() ([]*experiments.Result, error) {
+			return one(experiments.Fig16StorageCapacity(incCfg))
+		}},
+		{"17", func() ([]*experiments.Result, error) {
+			r, _, err := experiments.Fig17OverallReduction(incCfg)
+			return one(r, err)
+		}},
+		{"contention", func() ([]*experiments.Result, error) {
+			ccfg := experiments.DefaultContention()
+			if *quick {
+				ccfg.Jobs = 3
+				ccfg.RowsPerTable = 512
+				ccfg.Dim = 16
+			}
+			return one(experiments.WriteLatencyResult(ccfg))
+		}},
+		{"zstd", func() ([]*experiments.Result, error) {
+			return one(experiments.ZstdBaselineResult(1024, 3))
+		}},
+		{"stall", func() ([]*experiments.Result, error) {
+			return one(experiments.SnapshotStallResult(), nil)
+		}},
+	}
+
+	ran := 0
+	for _, g := range gens {
+		if *fig != "all" && *fig != g.id {
+			continue
+		}
+		results, err := g.run()
+		if err != nil {
+			logger.Fatalf("fig %s: %v", g.id, err)
+		}
+		for _, r := range results {
+			fmt.Println(r.Render())
+		}
+		ran++
+	}
+	if ran == 0 {
+		logger.Fatalf("unknown figure %q", *fig)
+	}
+}

@@ -1,0 +1,120 @@
+// Command ckptctl inspects and maintains Check-N-Run checkpoints in a
+// remote object store: list manifests, scrub integrity (CRC every chunk,
+// walk restore chains), and delete checkpoints.
+//
+// Usage:
+//
+//	ckptctl -store 127.0.0.1:7070 -job demo list
+//	ckptctl -store 127.0.0.1:7070 -job demo verify        # scrub all
+//	ckptctl -store 127.0.0.1:7070 -job demo verify -id 3
+//	ckptctl -store 127.0.0.1:7070 -job demo delete -id 0
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/ckpt"
+	"repro/internal/objstore"
+	"repro/internal/wire"
+)
+
+func main() {
+	storeAddr := flag.String("store", "127.0.0.1:7070", "TCP object store address")
+	job := flag.String("job", "demo", "job ID")
+	id := flag.Int("id", -1, "checkpoint ID (-1 = all where applicable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ckptctl [flags] list|verify|delete")
+		os.Exit(2)
+	}
+	verb := flag.Arg(0)
+	logger := log.New(os.Stderr, "ckptctl: ", 0)
+
+	store, err := objstore.Dial(*storeAddr, objstore.ClientConfig{})
+	if err != nil {
+		logger.Fatalf("dial: %v", err)
+	}
+	defer store.Close()
+	rest, err := ckpt.NewRestorer(*job, store)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	ctx := context.Background()
+
+	switch verb {
+	case "list":
+		ms, err := rest.ListManifests(ctx)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if len(ms) == 0 {
+			fmt.Println("no checkpoints")
+			return
+		}
+		fmt.Printf("%-5s %-12s %-5s %-6s %-10s %-10s %-12s %s\n",
+			"id", "kind", "base", "step", "rows", "payload", "quant", "reader@")
+		for _, m := range ms {
+			stored := 0
+			for _, t := range m.Tables {
+				stored += t.StoredRows
+			}
+			fmt.Printf("%-5d %-12s %-5d %-6d %-10d %-10d %-12s %d\n",
+				m.ID, m.Kind, m.BaseID, m.Step, stored, m.PayloadBytes,
+				fmt.Sprintf("%s/%db", m.Quant.Method, m.Quant.Bits), m.ReaderNextSample)
+		}
+	case "verify":
+		var results []*ckpt.VerifyResult
+		if *id >= 0 {
+			v, err := rest.Verify(ctx, *id)
+			if err != nil {
+				logger.Fatal(err)
+			}
+			results = append(results, v)
+		} else {
+			results, err = rest.VerifyAll(ctx)
+			if err != nil {
+				logger.Fatal(err)
+			}
+		}
+		bad := 0
+		for _, v := range results {
+			status := "OK"
+			if !v.OK() {
+				status = "CORRUPT"
+				bad++
+			}
+			fmt.Printf("ckpt %d (%s): %s — %d chunks, %d rows, %d bytes\n",
+				v.ID, v.Kind, status, v.Chunks, v.Rows, v.Bytes)
+			for _, p := range v.Problems {
+				fmt.Printf("  problem: %s\n", p)
+			}
+		}
+		if bad > 0 {
+			os.Exit(1)
+		}
+	case "delete":
+		if *id < 0 {
+			logger.Fatal("delete requires -id")
+		}
+		keys, err := store.List(ctx, wire.CheckpointPrefix(*job, *id))
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if len(keys) == 0 {
+			logger.Fatalf("checkpoint %d not found", *id)
+		}
+		for _, k := range keys {
+			if err := store.Delete(ctx, k); err != nil {
+				logger.Fatalf("delete %s: %v", k, err)
+			}
+		}
+		fmt.Printf("deleted checkpoint %d (%d objects)\n", *id, len(keys))
+	default:
+		logger.Fatalf("unknown verb %q", verb)
+	}
+}

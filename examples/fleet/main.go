@@ -1,0 +1,33 @@
+// Fleet: many training jobs checkpointing concurrently against one
+// bandwidth-limited storage tier — the setting that motivates
+// Check-N-Run (§4.3: shared write bandwidth bounds how frequently every
+// job can checkpoint). The example measures, on a virtual clock, how long
+// a whole-fleet checkpoint round takes with plain full fp32 checkpoints
+// versus Check-N-Run's incremental + 4-bit + compact-metadata pipeline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultContention()
+	fmt.Printf("fleet: %d jobs sharing a %.0f MB/s storage link\n",
+		cfg.Jobs, cfg.Bandwidth/(1<<20))
+	fmt.Printf("each job: 2 embedding tables x %d rows x dim %d\n\n",
+		cfg.RowsPerTable, cfg.Dim)
+
+	r, err := experiments.WriteLatencyResult(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(r.Render())
+
+	fmt.Println("\nreading the table: round 0 includes every job's full baseline;")
+	fmt.Println("steady-state rounds show the sustained checkpointing cost. The")
+	fmt.Println("speedup translates directly into higher feasible checkpoint")
+	fmt.Println("frequency — or more jobs on the same storage tier.")
+}

@@ -1,0 +1,69 @@
+// Quantization sweep: compare the paper's four checkpoint quantization
+// approaches on a genuinely trained embedding table, including the
+// sampling-based automatic parameter selection of §5.2 — a compact
+// reproduction of Figures 9-11 on your own terminal.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/quant"
+)
+
+func main() {
+	fmt.Println("training a small DLRM to produce a representative checkpoint...")
+	cv, err := experiments.TrainedCheckpoint(2048, 16, 30, 64, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint: %d embedding vectors of dim %d\n\n", len(cv.Vectors), cv.Dim)
+
+	// Figure 9: mean L2 error by method and bit-width.
+	fmt.Printf("%-10s %14s %14s %14s %14s\n", "bits", "symmetric", "asymmetric", "k-means", "adaptive")
+	for _, bits := range []int{2, 3, 4, 8} {
+		row := []float64{}
+		for _, p := range []quant.Params{
+			{Method: quant.MethodSymmetric, Bits: bits},
+			{Method: quant.MethodAsymmetric, Bits: bits},
+			{Method: quant.MethodKMeans, Bits: bits, KMeansIters: 15},
+			{Method: quant.MethodAdaptive, Bits: bits, NumBins: 25, Ratio: 1},
+		} {
+			e, err := quant.MeanL2Error(cv.Vectors, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, e)
+		}
+		fmt.Printf("%-10d %14.6f %14.6f %14.6f %14.6f\n", bits, row[0], row[1], row[2], row[3])
+	}
+
+	// Automatic parameter selection on a sampled checkpoint (§5.2).
+	fmt.Println("\nautomatic parameter selection (0.001% sampling profile):")
+	for _, bits := range []int{2, 3, 4} {
+		p, err := quant.SelectAdaptiveParams(cv.Vectors, bits,
+			[]int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50}, 1.0, 0.01, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		imp, err := quant.ImprovementOverNaive(cv.Vectors, bits, p.NumBins, p.Ratio)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d-bit: selected %d bins (improvement over naive: %.1f%%)\n",
+			bits, p.NumBins, imp*100)
+	}
+
+	// Storage footprint comparison.
+	fmt.Println("\nper-row storage (dim-16 row, fp32 = 64 bytes + 4 accum):")
+	x := cv.Vectors[0]
+	for _, bits := range []int{2, 3, 4, 8} {
+		q, err := quant.Quantize(x, quant.Params{Method: quant.MethodAsymmetric, Bits: bits})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d-bit: %d bytes (%.1fx smaller)\n",
+			bits, q.StorageBytes(), 68.0/float64(q.StorageBytes()))
+	}
+}

@@ -1,0 +1,421 @@
+package ckpt
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/embedding"
+	"repro/internal/objstore"
+	"repro/internal/quant"
+	"repro/internal/wire"
+)
+
+// Config configures an Engine.
+type Config struct {
+	JobID string
+	Store objstore.Store
+	// Policy selects the incremental checkpointing policy.
+	Policy PolicyKind
+	// Quant configures checkpoint quantization. The zero value means no
+	// quantization (fp32).
+	Quant quant.Params
+	// ChunkRows is the number of rows per upload chunk (the pipelining
+	// granularity of §4.4). Zero means 512.
+	ChunkRows int
+	// Uploaders is the number of concurrent chunk-upload workers
+	// (pipelined store while the next chunk quantizes). Zero means 2;
+	// 1 disables pipelining (the ablation baseline).
+	Uploaders int
+	// KeepLast bounds retained checkpoints; older ones are garbage
+	// collected after each successful write, respecting chain
+	// dependencies (a base is never deleted while a dependent increment
+	// is retained). Zero keeps everything.
+	KeepLast int
+	// Predictor selects the intermittent policy's full-checkpoint
+	// predictor (default PredictorHistory, the paper's §5.1 rule).
+	Predictor PredictorKind
+	// CompactMetadata enables the CKP2 chunk layout, which hoists the
+	// shared quantization header out of each row — the metadata
+	// optimization the paper lists as future work (§6.3.2). It applies
+	// automatically only to chunks whose rows share a uniform method;
+	// k-means chunks fall back to the v1 layout. Restore handles both.
+	CompactMetadata bool
+}
+
+// Engine builds and stores checkpoints for one training job. Methods are
+// not safe for concurrent use: the paper serializes checkpoints ("two
+// consecutive checkpoints cannot overlap").
+type Engine struct {
+	cfg   Config
+	state *policyState
+
+	nextID     int
+	lastFullID int
+	// cumulative tracks rows modified since the last full baseline
+	// (the one-shot/intermittent view).
+	cumulative map[int]*bitvec.Bitmap
+
+	// manifests caches committed manifests by ID for GC dependency checks.
+	manifests map[int]*wire.Manifest
+}
+
+// NewEngine validates cfg and returns an Engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.JobID == "" {
+		return nil, fmt.Errorf("ckpt: empty job ID")
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("ckpt: nil store")
+	}
+	if !cfg.Policy.Valid() {
+		return nil, fmt.Errorf("ckpt: invalid policy %d", cfg.Policy)
+	}
+	if cfg.Quant.Method != quant.MethodNone {
+		if err := cfg.Quant.Validate(); err != nil {
+			return nil, fmt.Errorf("ckpt: %w", err)
+		}
+	}
+	if cfg.ChunkRows <= 0 {
+		cfg.ChunkRows = 512
+	}
+	if cfg.Uploaders <= 0 {
+		cfg.Uploaders = 2
+	}
+	if !cfg.Predictor.Valid() {
+		return nil, fmt.Errorf("ckpt: invalid predictor %d", cfg.Predictor)
+	}
+	st := newPolicyState(cfg.Policy)
+	st.predictor = cfg.Predictor
+	return &Engine{
+		cfg:        cfg,
+		state:      st,
+		lastFullID: -1,
+		cumulative: make(map[int]*bitvec.Bitmap),
+		manifests:  make(map[int]*wire.Manifest),
+	}, nil
+}
+
+// SetQuant changes the quantization parameters for subsequent checkpoints.
+// The controller uses this for dynamic bit-width selection and the 8-bit
+// fallback (§6.2.1); it is safe because checkpoints never overlap.
+func (e *Engine) SetQuant(p quant.Params) error {
+	if p.Method != quant.MethodNone {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	e.cfg.Quant = p
+	return nil
+}
+
+// Quant returns the current quantization parameters.
+func (e *Engine) Quant() quant.Params { return e.cfg.Quant }
+
+// NextID returns the ID the next checkpoint will get.
+func (e *Engine) NextID() int { return e.nextID }
+
+// Write builds and stores a checkpoint from snap, returning its manifest
+// once it is valid (manifest durably stored). This runs the paper's
+// step 2 and 3: quantize chunk-by-chunk, upload pipelined, then commit.
+func (e *Engine) Write(ctx context.Context, snap *Snapshot) (*wire.Manifest, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("ckpt: nil snapshot")
+	}
+	// Merge this interval's modified view into the cumulative-since-base
+	// view used by the one-shot family.
+	for id, bm := range snap.Modified {
+		if cum, ok := e.cumulative[id]; ok {
+			cum.Or(bm)
+		} else {
+			e.cumulative[id] = bm.Clone()
+		}
+	}
+
+	totalRows := snap.TotalRows()
+	prospective := 0.0
+	if totalRows > 0 {
+		cumCount := 0
+		for _, bm := range e.cumulative {
+			cumCount += bm.Count()
+		}
+		prospective = float64(cumCount) / float64(totalRows)
+	}
+	dec := e.state.decide(prospective)
+
+	id := e.nextID
+	man := &wire.Manifest{
+		FormatVersion:    wire.CurrentFormatVersion,
+		JobID:            e.cfg.JobID,
+		ID:               id,
+		Kind:             dec.kind.String(),
+		BaseID:           -1,
+		ParentID:         id - 1,
+		Step:             snap.Step,
+		ReaderNextSample: snap.Reader.NextSample,
+		ReaderBatchSize:  snap.Reader.BatchSize,
+		Quant: wire.QuantInfo{
+			Method:  e.cfg.Quant.Method.String(),
+			Bits:    e.cfg.Quant.Bits,
+			NumBins: e.cfg.Quant.NumBins,
+			Ratio:   e.cfg.Quant.Ratio,
+		},
+		DenseKey: wire.DenseKey(e.cfg.JobID, id),
+	}
+	if id == 0 {
+		man.ParentID = -1
+	}
+	if dec.kind == wire.KindIncremental {
+		man.BaseID = e.lastFullID
+		man.SinceBase = dec.sinceBase
+	}
+
+	var payloadBytes int64
+	storedTotal := 0
+	for _, tab := range snap.Tables {
+		rows := e.rowsToStore(tab, dec, snap)
+		tm, bytes, err := e.writeTable(ctx, id, tab, rows)
+		if err != nil {
+			// Abort: best-effort cleanup of partial objects; the
+			// manifest was never written so the checkpoint is invalid
+			// either way.
+			e.cleanup(ctx, id)
+			return nil, err
+		}
+		payloadBytes += bytes
+		storedTotal += tm.StoredRows
+		man.Tables = append(man.Tables, tm)
+	}
+
+	if err := e.cfg.Store.Put(ctx, man.DenseKey, snap.Dense); err != nil {
+		e.cleanup(ctx, id)
+		return nil, fmt.Errorf("ckpt: dense state: %w", err)
+	}
+	payloadBytes += int64(len(snap.Dense))
+	man.PayloadBytes = payloadBytes
+
+	manBlob, err := wire.EncodeManifest(man)
+	if err != nil {
+		e.cleanup(ctx, id)
+		return nil, fmt.Errorf("ckpt: encode manifest: %w", err)
+	}
+	if err := e.cfg.Store.Put(ctx, wire.ManifestKey(e.cfg.JobID, id), manBlob); err != nil {
+		e.cleanup(ctx, id)
+		return nil, fmt.Errorf("ckpt: store manifest: %w", err)
+	}
+
+	// Commit engine state.
+	size := 0.0
+	if totalRows > 0 {
+		size = float64(storedTotal) / float64(totalRows)
+	}
+	e.state.record(dec.kind, size)
+	if dec.kind == wire.KindFull {
+		e.lastFullID = id
+		for _, bm := range e.cumulative {
+			bm.Reset()
+		}
+	}
+	e.manifests[id] = man
+	e.nextID++
+
+	if e.cfg.KeepLast > 0 {
+		e.gc(ctx)
+	}
+	return man, nil
+}
+
+// rowsToStore returns the sorted row indices of tab to serialize under dec.
+func (e *Engine) rowsToStore(tab *embedding.Table, dec decision, snap *Snapshot) []int {
+	if dec.kind == wire.KindFull {
+		all := make([]int, tab.Rows)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	var bm *bitvec.Bitmap
+	if dec.sinceBase {
+		bm = e.cumulative[tab.ID]
+	} else {
+		bm = snap.Modified[tab.ID]
+	}
+	if bm == nil {
+		return nil
+	}
+	return bm.Indices()
+}
+
+// writeTable quantizes and uploads one table's rows in pipelined chunks.
+func (e *Engine) writeTable(ctx context.Context, ckptID int, tab *embedding.Table, rows []int) (wire.TableManifest, int64, error) {
+	tm := wire.TableManifest{
+		TableID:    tab.ID,
+		Rows:       tab.Rows,
+		Dim:        tab.Dim,
+		StoredRows: len(rows),
+	}
+
+	type upload struct {
+		key  string
+		blob []byte
+	}
+	uploads := make(chan upload, e.cfg.Uploaders)
+	errCh := make(chan error, e.cfg.Uploaders)
+	var wg sync.WaitGroup
+	var bytesMu sync.Mutex
+	var totalBytes int64
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for w := 0; w < e.cfg.Uploaders; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range uploads {
+				if err := e.cfg.Store.Put(ctx, u.key, u.blob); err != nil {
+					select {
+					case errCh <- err:
+						cancel()
+					default:
+					}
+					return
+				}
+				bytesMu.Lock()
+				totalBytes += int64(len(u.blob))
+				bytesMu.Unlock()
+			}
+		}()
+	}
+
+	chunkIdx := 0
+	var encodeErr error
+	for start := 0; start < len(rows); start += e.cfg.ChunkRows {
+		end := start + e.cfg.ChunkRows
+		if end > len(rows) {
+			end = len(rows)
+		}
+		chunk := &wire.Chunk{TableID: uint32(tab.ID)}
+		for _, r := range rows[start:end] {
+			q, err := e.quantizeRow(tab, r)
+			if err != nil {
+				encodeErr = err
+				break
+			}
+			chunk.Rows = append(chunk.Rows, wire.Row{
+				Index: uint32(r),
+				Accum: tab.Accum[r],
+				Q:     q,
+			})
+		}
+		if encodeErr != nil {
+			break
+		}
+		var blob []byte
+		var err error
+		if e.cfg.CompactMetadata && chunk.CompactEncodable() {
+			blob, err = chunk.EncodeCompact()
+		} else {
+			blob, err = chunk.Encode()
+		}
+		if err != nil {
+			encodeErr = err
+			break
+		}
+		key := wire.ChunkKey(e.cfg.JobID, ckptID, tab.ID, chunkIdx)
+		tm.ChunkKeys = append(tm.ChunkKeys, key)
+		chunkIdx++
+		select {
+		case uploads <- upload{key: key, blob: blob}:
+		case <-ctx.Done():
+			encodeErr = ctx.Err()
+		}
+		if encodeErr != nil {
+			break
+		}
+	}
+	close(uploads)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return tm, 0, fmt.Errorf("ckpt: table %d upload: %w", tab.ID, err)
+	default:
+	}
+	if encodeErr != nil {
+		return tm, 0, fmt.Errorf("ckpt: table %d: %w", tab.ID, encodeErr)
+	}
+	return tm, totalBytes, nil
+}
+
+// quantizeRow quantizes one embedding row under the engine's parameters.
+func (e *Engine) quantizeRow(tab *embedding.Table, row int) (*quant.QVector, error) {
+	return quant.Quantize(tab.Lookup(row), e.cfg.Quant)
+}
+
+// cleanup deletes any objects written for an aborted checkpoint.
+func (e *Engine) cleanup(ctx context.Context, id int) {
+	keys, err := e.cfg.Store.List(ctx, wire.CheckpointPrefix(e.cfg.JobID, id))
+	if err != nil {
+		return
+	}
+	for _, k := range keys {
+		_ = e.cfg.Store.Delete(ctx, k)
+	}
+}
+
+// gc deletes old checkpoints beyond KeepLast while preserving any
+// checkpoint that a retained one depends on (its base, and for
+// consecutive chains every ancestor back to the base).
+func (e *Engine) gc(ctx context.Context) {
+	retain := make(map[int]bool)
+	// Newest KeepLast checkpoints are retained directly.
+	for id := e.nextID - 1; id >= 0 && id > e.nextID-1-e.cfg.KeepLast; id-- {
+		retain[id] = true
+	}
+	// Close over dependencies.
+	changed := true
+	for changed {
+		changed = false
+		for id := range retain {
+			m, ok := e.manifests[id]
+			if !ok {
+				continue
+			}
+			if m.Kind == wire.KindIncremental.String() {
+				deps := []int{m.BaseID}
+				if !m.SinceBase {
+					// Consecutive link: its parent is also needed.
+					deps = append(deps, m.ParentID)
+				}
+				for _, d := range deps {
+					if d >= 0 && !retain[d] {
+						retain[d] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for id, m := range e.manifests {
+		if retain[id] {
+			continue
+		}
+		_ = m
+		keys, err := e.cfg.Store.List(ctx, wire.CheckpointPrefix(e.cfg.JobID, id))
+		if err != nil {
+			continue
+		}
+		for _, k := range keys {
+			_ = e.cfg.Store.Delete(ctx, k)
+		}
+		delete(e.manifests, id)
+	}
+}
+
+// Manifest returns the committed manifest with the given ID, if retained.
+func (e *Engine) Manifest(id int) (*wire.Manifest, bool) {
+	m, ok := e.manifests[id]
+	return m, ok
+}
+
+// LatestID returns the ID of the most recent committed checkpoint, or -1.
+func (e *Engine) LatestID() int { return e.nextID - 1 }

@@ -1,0 +1,152 @@
+package ckpt
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/objstore"
+	"repro/internal/quant"
+)
+
+// flakyStore wraps a Store and fails Puts according to a schedule —
+// failure injection for the engine's abort/cleanup path.
+type flakyStore struct {
+	objstore.Store
+	mu       sync.Mutex
+	failPut  int // fail the Nth Put (1-based); 0 disables
+	putCount int
+}
+
+var errInjected = errors.New("injected storage failure")
+
+func (f *flakyStore) Put(ctx context.Context, key string, value []byte) error {
+	f.mu.Lock()
+	f.putCount++
+	n := f.putCount
+	fail := f.failPut
+	f.mu.Unlock()
+	if fail > 0 && n == fail {
+		return errInjected
+	}
+	return f.Store.Put(ctx, key, value)
+}
+
+func TestWriteAbortCleansUpPartialObjects(t *testing.T) {
+	inner := objstore.NewMemStore(objstore.MemConfig{})
+	flaky := &flakyStore{Store: inner, failPut: 3}
+	f := newFixture(t, Config{Store: flaky, Policy: PolicyFull, Uploaders: 1})
+	snap := f.trainAndSnapshot(t, 1, 16)
+	if _, err := f.eng.Write(f.ctx, snap); !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	// No objects of the aborted checkpoint remain.
+	keys, err := inner.List(f.ctx, "testjob/ckpt/00000000/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 0 {
+		t.Fatalf("aborted checkpoint left %d objects: %v", len(keys), keys)
+	}
+	// And the next attempt succeeds with the same ID.
+	flaky.mu.Lock()
+	flaky.failPut = 0
+	flaky.mu.Unlock()
+	man, err := f.eng.Write(f.ctx, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.ID != 0 {
+		t.Fatalf("retry should reuse ID 0, got %d", man.ID)
+	}
+}
+
+func TestWriteAbortKeepsPreviousCheckpointValid(t *testing.T) {
+	inner := objstore.NewMemStore(objstore.MemConfig{})
+	flaky := &flakyStore{Store: inner}
+	f := newFixture(t, Config{Store: flaky, Policy: PolicyOneShot, Uploaders: 1})
+	// First checkpoint succeeds.
+	if _, err := f.eng.Write(f.ctx, f.trainAndSnapshot(t, 1, 16)); err != nil {
+		t.Fatal(err)
+	}
+	liveAtCkpt1 := f.m.Sparse.Tables[0].Weights.At(0, 0)
+	// Second checkpoint fails mid-upload.
+	flaky.mu.Lock()
+	flaky.failPut = flaky.putCount + 2
+	flaky.mu.Unlock()
+	if _, err := f.eng.Write(f.ctx, f.trainAndSnapshot(t, 1, 16)); err == nil {
+		t.Fatal("expected injected failure")
+	}
+	// Recovery still restores checkpoint 0 cleanly.
+	m2, _ := model.New(testModelConfig(), 2)
+	res, err := f.rest.RestoreLatest(f.ctx, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Manifests[len(res.Manifests)-1].ID != 0 {
+		t.Fatalf("latest valid should be 0, got %d", res.Manifests[len(res.Manifests)-1].ID)
+	}
+	_ = liveAtCkpt1
+	// Scrub confirms integrity.
+	v, err := f.rest.Verify(f.ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK() {
+		t.Fatalf("checkpoint 0 flagged after aborted successor: %v", v.Problems)
+	}
+}
+
+func TestWriteFailureOnDenseState(t *testing.T) {
+	inner := objstore.NewMemStore(objstore.MemConfig{})
+	flaky := &flakyStore{Store: inner}
+	f := newFixture(t, Config{Store: flaky, Policy: PolicyFull, Uploaders: 1, ChunkRows: 4096})
+	snap := f.trainAndSnapshot(t, 1, 16)
+	// With ChunkRows large, the 3 tables upload as 3 Puts; the 4th Put is
+	// the dense state.
+	flaky.mu.Lock()
+	flaky.failPut = 4
+	flaky.mu.Unlock()
+	if _, err := f.eng.Write(f.ctx, snap); !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	keys, _ := inner.List(f.ctx, "testjob/")
+	if len(keys) != 0 {
+		t.Fatalf("leftover objects after dense-state failure: %v", keys)
+	}
+}
+
+func TestWriteContextCancelledMidway(t *testing.T) {
+	f := newFixture(t, Config{Policy: PolicyFull})
+	snap := f.trainAndSnapshot(t, 1, 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.eng.Write(ctx, snap); err == nil {
+		t.Fatal("cancelled context should abort the write")
+	}
+	keys, _ := f.store.List(context.Background(), "testjob/")
+	if len(keys) != 0 {
+		t.Fatalf("leftover objects after cancellation: %v", keys)
+	}
+}
+
+func TestRestoreFailsCleanlyOnMissingBase(t *testing.T) {
+	f := newFixture(t, Config{Policy: PolicyOneShot,
+		Quant: quant.Params{Method: quant.MethodAsymmetric, Bits: 8}})
+	for i := 0; i < 2; i++ {
+		if _, err := f.eng.Write(f.ctx, f.trainAndSnapshot(t, 1, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Remove the base checkpoint entirely.
+	keys, _ := f.store.List(f.ctx, "testjob/ckpt/00000000/")
+	for _, k := range keys {
+		f.store.Delete(f.ctx, k)
+	}
+	m2, _ := model.New(testModelConfig(), 2)
+	if _, err := f.rest.Restore(f.ctx, 1, m2); err == nil {
+		t.Fatal("restore with missing base should error")
+	}
+}

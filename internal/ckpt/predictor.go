@@ -1,0 +1,111 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// PredictorKind selects the intermittent policy's full-vs-incremental
+// predictor. The paper ships the simple history predictor and notes it
+// "can be improved with more accurate prediction models, which are part
+// of future work" (§5.1); PredictorRegression is that improvement.
+type PredictorKind uint8
+
+const (
+	// PredictorHistory is the paper's §5.1 predictor: assume the next
+	// i+1 incremental sizes repeat the past ones if a full baseline is
+	// taken now (Fc = 1 + ΣS_j) and stay at least S_i otherwise
+	// (Ic = (i+1)·S_i); take a full checkpoint iff Fc <= Ic.
+	PredictorHistory PredictorKind = iota
+	// PredictorRegression fits a least-squares line to the observed
+	// incremental growth S_j ≈ a + b·j and compares the projected cost
+	// of both branches over the next i+1 intervals: restarting the curve
+	// from j=1 after a full baseline vs continuing it from j=i+1.
+	PredictorRegression
+)
+
+// String names the predictor.
+func (p PredictorKind) String() string {
+	switch p {
+	case PredictorHistory:
+		return "history"
+	case PredictorRegression:
+		return "regression"
+	default:
+		return fmt.Sprintf("predictor(%d)", uint8(p))
+	}
+}
+
+// Valid reports whether p is a known predictor.
+func (p PredictorKind) Valid() bool { return p <= PredictorRegression }
+
+// regressionPredictFull implements PredictorRegression. sizes are
+// S_1..S_i; prospective is the would-be size of the next incremental.
+func regressionPredictFull(sizes []float64, prospective float64) bool {
+	i := len(sizes)
+	if i == 0 {
+		return false
+	}
+	if i == 1 {
+		// Not enough points for a slope; fall back to the history rule.
+		si := sizes[0]
+		if prospective > si {
+			si = prospective
+		}
+		return 1+stats.Sum(sizes) <= float64(i+1)*si
+	}
+	a, b := fitLine(sizes)
+	if b < 0 {
+		b = 0 // incremental sizes never shrink under the one-shot view
+	}
+	horizon := i + 1
+	// Branch A: full baseline now. The growth curve restarts at j=1.
+	fc := 1.0
+	for j := 1; j <= horizon; j++ {
+		fc += clampSize(a + b*float64(j))
+	}
+	// Branch B: keep going incremental. The curve continues from j=i+1.
+	ic := 0.0
+	for j := i + 1; j <= i+horizon; j++ {
+		s := clampSize(a + b*float64(j))
+		if j == i+1 && prospective > s {
+			s = prospective
+		}
+		ic += s
+	}
+	return fc <= ic
+}
+
+// fitLine returns the least-squares (intercept, slope) of y_j over
+// j = 1..len(y).
+func fitLine(y []float64) (a, b float64) {
+	n := float64(len(y))
+	var sumX, sumY, sumXY, sumXX float64
+	for j, v := range y {
+		x := float64(j + 1)
+		sumX += x
+		sumY += v
+		sumXY += x * v
+		sumXX += x * x
+	}
+	den := n*sumXX - sumX*sumX
+	if den == 0 {
+		return stats.Mean(y), 0
+	}
+	b = (n*sumXY - sumX*sumY) / den
+	a = (sumY - b*sumX) / n
+	return a, b
+}
+
+// clampSize bounds a projected incremental size to [0, 1] (a fraction of
+// the full checkpoint).
+func clampSize(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}

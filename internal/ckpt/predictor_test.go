@@ -1,0 +1,162 @@
+package ckpt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/quant"
+	"repro/internal/wire"
+)
+
+func TestPredictorKindString(t *testing.T) {
+	for _, p := range []PredictorKind{PredictorHistory, PredictorRegression, PredictorKind(9)} {
+		if p.String() == "" {
+			t.Fatal("empty predictor name")
+		}
+	}
+	if !PredictorHistory.Valid() || !PredictorRegression.Valid() {
+		t.Fatal("known predictors should be valid")
+	}
+	if PredictorKind(9).Valid() {
+		t.Fatal("unknown predictor should be invalid")
+	}
+}
+
+func TestFitLine(t *testing.T) {
+	// y = 0.1 + 0.05*j exactly.
+	y := []float64{0.15, 0.20, 0.25, 0.30}
+	a, b := fitLine(y)
+	if math.Abs(a-0.1) > 1e-9 || math.Abs(b-0.05) > 1e-9 {
+		t.Fatalf("fit = (%v, %v), want (0.1, 0.05)", a, b)
+	}
+	// Constant series: zero slope.
+	a, b = fitLine([]float64{0.3, 0.3, 0.3})
+	if math.Abs(a-0.3) > 1e-9 || math.Abs(b) > 1e-9 {
+		t.Fatalf("constant fit = (%v, %v)", a, b)
+	}
+}
+
+func TestRegressionPredictorNoHistory(t *testing.T) {
+	if regressionPredictFull(nil, 0.25) {
+		t.Fatal("no history should stay incremental")
+	}
+}
+
+func TestRegressionPredictorLinearGrowth(t *testing.T) {
+	// Steadily growing increments must eventually trigger a baseline.
+	var sizes []float64
+	triggered := -1
+	for j := 1; j <= 20; j++ {
+		s := 0.2 + 0.05*float64(j)
+		if s > 1 {
+			s = 1
+		}
+		if regressionPredictFull(sizes, s) {
+			triggered = j
+			break
+		}
+		sizes = append(sizes, s)
+	}
+	if triggered < 0 {
+		t.Fatal("regression predictor never took a baseline under linear growth")
+	}
+	if triggered < 3 {
+		t.Fatalf("baseline at j=%d is too eager", triggered)
+	}
+}
+
+func TestRegressionPredictorFlatSizesStaysIncremental(t *testing.T) {
+	// Flat small increments: staying incremental is always cheaper than
+	// re-paying the full baseline.
+	sizes := []float64{0.1, 0.1, 0.1, 0.1}
+	if regressionPredictFull(sizes, 0.1) {
+		t.Fatal("flat 10% increments should never trigger a baseline")
+	}
+}
+
+func TestRegressionPredictorClampsProjection(t *testing.T) {
+	// Sustained growth whose continuation saturates at 100% while a
+	// restarted curve stays cheaper: the baseline must trigger, and the
+	// >100% projections must clamp rather than blow up the comparison.
+	sizes := []float64{0.3, 0.5, 0.7, 0.9}
+	if !regressionPredictFull(sizes, 0.95) {
+		t.Fatal("sustained growth should trigger a baseline")
+	}
+	// With only a steep 2-point history the horizon is too short for the
+	// baseline to amortize: stay incremental.
+	if regressionPredictFull([]float64{0.5, 0.9}, 0.95) {
+		t.Fatal("short steep history should not yet trigger")
+	}
+}
+
+func TestEngineRejectsInvalidPredictor(t *testing.T) {
+	f := newFixture(t, Config{Policy: PolicyIntermittent})
+	_ = f
+	if _, err := NewEngine(Config{
+		JobID: "j", Store: f.store, Policy: PolicyIntermittent, Predictor: PredictorKind(7),
+	}); err == nil {
+		t.Fatal("invalid predictor should error")
+	}
+}
+
+func TestRegressionPredictorEndToEnd(t *testing.T) {
+	// The intermittent policy with the regression predictor still takes
+	// periodic baselines and restores exactly.
+	f := newFixture(t, Config{
+		Policy:    PolicyIntermittent,
+		Predictor: PredictorRegression,
+	})
+	fulls := 0
+	for i := 0; i < 16; i++ {
+		man, err := f.eng.Write(f.ctx, f.trainAndSnapshot(t, 3, 48))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if man.Kind == wire.KindFull.String() {
+			fulls++
+		}
+	}
+	if fulls < 2 {
+		t.Fatalf("regression predictor took only %d baselines in 16 intervals", fulls)
+	}
+	m2, _ := newFixture(t, Config{Policy: PolicyFull}).m, error(nil)
+	if _, err := f.rest.RestoreLatest(f.ctx, m2); err != nil {
+		t.Fatal(err)
+	}
+	if !modelsEqual(f.m, m2, f.gen, 1e-6) {
+		t.Fatal("restore under regression predictor diverged")
+	}
+}
+
+func TestPredictorsBothBoundCumulativeCost(t *testing.T) {
+	// Over many intervals, both predictors must keep average bandwidth
+	// strictly below always-full and above the impossible lower bound.
+	run := func(pred PredictorKind) int64 {
+		f := newFixture(t, Config{
+			Policy:    PolicyIntermittent,
+			Predictor: pred,
+			Quant:     quant.Params{Method: quant.MethodNone},
+		})
+		for i := 0; i < 12; i++ {
+			if _, err := f.eng.Write(f.ctx, f.trainAndSnapshot(t, 2, 48)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f.store.Usage().BytesWritten
+	}
+	full := func() int64 {
+		f := newFixture(t, Config{Policy: PolicyFull})
+		for i := 0; i < 12; i++ {
+			if _, err := f.eng.Write(f.ctx, f.trainAndSnapshot(t, 2, 48)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f.store.Usage().BytesWritten
+	}()
+	hist := run(PredictorHistory)
+	regr := run(PredictorRegression)
+	if hist >= full || regr >= full {
+		t.Fatalf("predictors should beat always-full: hist=%d regr=%d full=%d", hist, regr, full)
+	}
+	t.Logf("bytes written over 12 intervals: full=%d history=%d regression=%d", full, hist, regr)
+}

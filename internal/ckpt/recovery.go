@@ -1,0 +1,231 @@
+package ckpt
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/objstore"
+	"repro/internal/quant"
+	"repro/internal/wire"
+)
+
+// Restorer loads checkpoints from a store and applies them to a model.
+// Restoring de-quantizes rows back to fp32 (§5.2: "Check-N-Run would load
+// a checkpoint and de-quantize it before resuming model training in
+// single precision").
+type Restorer struct {
+	jobID string
+	store objstore.Store
+}
+
+// NewRestorer returns a Restorer for the given job.
+func NewRestorer(jobID string, store objstore.Store) (*Restorer, error) {
+	if jobID == "" {
+		return nil, fmt.Errorf("ckpt: empty job ID")
+	}
+	if store == nil {
+		return nil, fmt.Errorf("ckpt: nil store")
+	}
+	return &Restorer{jobID: jobID, store: store}, nil
+}
+
+// ListManifests returns all valid checkpoint manifests for the job,
+// ordered by ID.
+func (r *Restorer) ListManifests(ctx context.Context) ([]*wire.Manifest, error) {
+	keys, err := r.store.List(ctx, wire.JobPrefix(r.jobID))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: list: %w", err)
+	}
+	var out []*wire.Manifest
+	for _, k := range keys {
+		if !strings.HasSuffix(k, "/manifest") {
+			continue
+		}
+		blob, err := r.store.Get(ctx, k)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: get %s: %w", k, err)
+		}
+		m, err := wire.DecodeManifest(blob)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: %s: %w", k, err)
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out, nil
+}
+
+// Latest returns the most recent valid manifest, or ErrNoCheckpoint.
+func (r *Restorer) Latest(ctx context.Context) (*wire.Manifest, error) {
+	ms, err := r.ListManifests(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(ms) == 0 {
+		return nil, ErrNoCheckpoint
+	}
+	return ms[len(ms)-1], nil
+}
+
+// ErrNoCheckpoint indicates the job has no valid checkpoint to restore.
+var ErrNoCheckpoint = fmt.Errorf("ckpt: no valid checkpoint")
+
+// Chain returns the manifests that must be applied, oldest first, to
+// restore the checkpoint with the given ID:
+//
+//   - full: [full]
+//   - one-shot/intermittent incremental: [base, inc]
+//   - consecutive incremental: [base, inc_1, ..., inc_n] — every link
+//     from the base forward (§5.1: "this approach would require keeping
+//     all previous incremental checkpoints").
+func (r *Restorer) Chain(ctx context.Context, id int) ([]*wire.Manifest, error) {
+	ms, err := r.ListManifests(ctx)
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[int]*wire.Manifest, len(ms))
+	for _, m := range ms {
+		byID[m.ID] = m
+	}
+	target, ok := byID[id]
+	if !ok {
+		return nil, fmt.Errorf("ckpt: checkpoint %d not found", id)
+	}
+	if target.Kind == wire.KindFull.String() {
+		return []*wire.Manifest{target}, nil
+	}
+	base, ok := byID[target.BaseID]
+	if !ok {
+		return nil, fmt.Errorf("ckpt: base %d of checkpoint %d missing", target.BaseID, id)
+	}
+	if target.SinceBase {
+		// One-shot/intermittent: the target holds every row modified
+		// since the base, so [base, target] reconstructs the state.
+		return []*wire.Manifest{base, target}, nil
+	}
+	// Consecutive chain: every incremental between base and target must
+	// be applied in order. Walk parent links back to the base.
+	chain := []*wire.Manifest{target}
+	cur := target
+	for cur.ParentID != base.ID {
+		parent, ok := byID[cur.ParentID]
+		if !ok {
+			return nil, fmt.Errorf("ckpt: chain link %d missing for checkpoint %d", cur.ParentID, id)
+		}
+		if parent.Kind != wire.KindIncremental.String() {
+			return nil, fmt.Errorf("ckpt: chain of %d crosses non-incremental %d", id, parent.ID)
+		}
+		if parent.BaseID != base.ID {
+			return nil, fmt.Errorf("ckpt: chain of %d crosses base boundary at %d", id, parent.ID)
+		}
+		chain = append(chain, parent)
+		cur = parent
+	}
+	// Reverse into oldest-first order and prepend the base.
+	out := make([]*wire.Manifest, 0, len(chain)+1)
+	out = append(out, base)
+	for i := len(chain) - 1; i >= 0; i-- {
+		out = append(out, chain[i])
+	}
+	return out, nil
+}
+
+// RestoreResult reports what a restore applied.
+type RestoreResult struct {
+	// Manifests is the applied chain, oldest first.
+	Manifests []*wire.Manifest
+	// Reader is the reader state to hand to the reader tier.
+	Reader data.ReaderState
+	// Step is the trained-batch count of the restored checkpoint.
+	Step uint64
+	// RowsApplied counts embedding rows written (across chain links;
+	// later links overwrite earlier ones).
+	RowsApplied int
+	// BytesRead counts payload bytes fetched.
+	BytesRead int64
+}
+
+// Restore loads checkpoint id into m. Later chain links overwrite earlier
+// ones row-by-row, reconstructing the exact incremental semantics.
+func (r *Restorer) Restore(ctx context.Context, id int, m *model.DLRM) (*RestoreResult, error) {
+	chain, err := r.Chain(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	res := &RestoreResult{Manifests: chain}
+	for _, man := range chain {
+		if err := r.applyOne(ctx, man, m, res); err != nil {
+			return nil, err
+		}
+	}
+	last := chain[len(chain)-1]
+	res.Reader = data.ReaderState{NextSample: last.ReaderNextSample, BatchSize: last.ReaderBatchSize}
+	res.Step = last.Step
+	// The tracker restarts clean: rows restored are not "modified" in
+	// the next interval's sense.
+	m.Tracker.Reset()
+	return res, nil
+}
+
+// RestoreLatest restores the most recent checkpoint.
+func (r *Restorer) RestoreLatest(ctx context.Context, m *model.DLRM) (*RestoreResult, error) {
+	latest, err := r.Latest(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return r.Restore(ctx, latest.ID, m)
+}
+
+// applyOne applies a single manifest's chunks and dense state to m.
+func (r *Restorer) applyOne(ctx context.Context, man *wire.Manifest, m *model.DLRM, res *RestoreResult) error {
+	for _, tm := range man.Tables {
+		tab := m.Sparse.Table(tm.TableID)
+		if tab == nil {
+			return fmt.Errorf("ckpt: model has no table %d", tm.TableID)
+		}
+		if tab.Rows != tm.Rows || tab.Dim != tm.Dim {
+			return fmt.Errorf("ckpt: table %d shape %dx%d != checkpoint %dx%d",
+				tm.TableID, tab.Rows, tab.Dim, tm.Rows, tm.Dim)
+		}
+		for _, key := range tm.ChunkKeys {
+			blob, err := r.store.Get(ctx, key)
+			if err != nil {
+				return fmt.Errorf("ckpt: get %s: %w", key, err)
+			}
+			res.BytesRead += int64(len(blob))
+			chunk, err := wire.DecodeChunk(blob)
+			if err != nil {
+				return fmt.Errorf("ckpt: %s: %w", key, err)
+			}
+			if int(chunk.TableID) != tm.TableID {
+				return fmt.Errorf("ckpt: %s holds table %d, want %d", key, chunk.TableID, tm.TableID)
+			}
+			for i := range chunk.Rows {
+				row := &chunk.Rows[i]
+				if int(row.Index) >= tab.Rows {
+					return fmt.Errorf("ckpt: %s row %d out of range", key, row.Index)
+				}
+				vals := quant.Dequantize(row.Q)
+				if len(vals) != tab.Dim {
+					return fmt.Errorf("ckpt: %s row %d dim %d != %d", key, row.Index, len(vals), tab.Dim)
+				}
+				copy(tab.Lookup(int(row.Index)), vals)
+				tab.Accum[row.Index] = row.Accum
+				res.RowsApplied++
+			}
+		}
+	}
+	dense, err := r.store.Get(ctx, man.DenseKey)
+	if err != nil {
+		return fmt.Errorf("ckpt: dense state: %w", err)
+	}
+	res.BytesRead += int64(len(dense))
+	if err := m.RestoreDenseState(dense); err != nil {
+		return fmt.Errorf("ckpt: dense state: %w", err)
+	}
+	return nil
+}

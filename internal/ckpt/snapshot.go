@@ -1,0 +1,102 @@
+// Package ckpt implements the Check-N-Run checkpoint engine (§4, §5):
+// decoupled in-memory snapshots, the three incremental checkpointing
+// policies (one-shot, consecutive, intermittent), chunk-pipelined
+// quantize-and-upload, and recovery including incremental-chain
+// reconstruction.
+package ckpt
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/data"
+	"repro/internal/embedding"
+	"repro/internal/model"
+)
+
+// Snapshot is an atomic copy of the trainer state taken while training is
+// stalled (§4.2). Once built, training resumes and background processes
+// own the snapshot exclusively: nothing here aliases live model memory.
+type Snapshot struct {
+	// Step is the number of trained batches at the trigger.
+	Step uint64
+	// Reader is the reader-tier state (§4.1).
+	Reader data.ReaderState
+	// Dense is the serialized MLP state (read from "a single GPU" since
+	// MLPs are replicated).
+	Dense []byte
+	// Tables are deep copies of every embedding table shard.
+	Tables []*embedding.Table
+	// Modified holds, per table ID, the rows modified during the interval
+	// that just ended (the tracker view handed off at the trigger).
+	Modified map[int]*bitvec.Bitmap
+}
+
+// TakeSnapshot builds a Snapshot from a DLRM and its reader state. It
+// models the stall-and-copy step: the caller must ensure no training step
+// is concurrently mutating the model (the trainer package provides that
+// barrier). The tracker is snapshotted with reset, starting the next
+// interval's tracking window.
+func TakeSnapshot(m *model.DLRM, step uint64, reader data.ReaderState) (*Snapshot, error) {
+	if m == nil {
+		return nil, fmt.Errorf("ckpt: nil model")
+	}
+	dense, err := m.DenseState()
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: dense state: %w", err)
+	}
+	s := &Snapshot{
+		Step:     step,
+		Reader:   reader,
+		Dense:    dense,
+		Modified: m.Tracker.Snapshot(true),
+	}
+	for _, t := range m.Sparse.Tables {
+		s.Tables = append(s.Tables, t.Clone())
+	}
+	return s, nil
+}
+
+// Table returns the snapshotted table with the given ID, or nil.
+func (s *Snapshot) Table(id int) *embedding.Table {
+	for _, t := range s.Tables {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// TotalRows returns the number of embedding rows in the snapshot.
+func (s *Snapshot) TotalRows() int {
+	n := 0
+	for _, t := range s.Tables {
+		n += t.Rows
+	}
+	return n
+}
+
+// ModifiedRows returns the number of rows marked modified in this
+// snapshot's interval view.
+func (s *Snapshot) ModifiedRows() int {
+	n := 0
+	for _, bm := range s.Modified {
+		n += bm.Count()
+	}
+	return n
+}
+
+// SizeBytes returns the host-memory footprint of the snapshot: table
+// copies, dense state, and tracker view. The paper provisions up to
+// 1.5 TB of host DRAM per node to hold these copies (§6); the engine
+// releases the snapshot once the checkpoint commits.
+func (s *Snapshot) SizeBytes() int64 {
+	n := int64(len(s.Dense))
+	for _, t := range s.Tables {
+		n += t.SizeBytes()
+	}
+	for _, bm := range s.Modified {
+		n += int64(bm.SizeBytes())
+	}
+	return n
+}

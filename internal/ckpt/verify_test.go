@@ -1,0 +1,138 @@
+package ckpt
+
+import (
+	"testing"
+
+	"repro/internal/quant"
+)
+
+func TestVerifyCleanCheckpoint(t *testing.T) {
+	f := newFixture(t, Config{Policy: PolicyOneShot,
+		Quant: quant.Params{Method: quant.MethodAsymmetric, Bits: 4}})
+	for i := 0; i < 3; i++ {
+		if _, err := f.eng.Write(f.ctx, f.trainAndSnapshot(t, 2, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := f.rest.Verify(f.ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK() {
+		t.Fatalf("clean checkpoint flagged: %+v", v.Problems)
+	}
+	if v.Chunks == 0 || v.Rows == 0 || v.Bytes == 0 {
+		t.Fatalf("scrub counters empty: %+v", v)
+	}
+	if v.Kind != "incremental" {
+		t.Fatalf("kind = %s", v.Kind)
+	}
+}
+
+func TestVerifyDetectsCorruptChunk(t *testing.T) {
+	f := newFixture(t, Config{Policy: PolicyFull})
+	man, err := f.eng.Write(f.ctx, f.trainAndSnapshot(t, 1, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := man.Tables[0].ChunkKeys[0]
+	blob, _ := f.store.Get(f.ctx, key)
+	blob[10] ^= 0xFF
+	f.store.Put(f.ctx, key, blob)
+	v, err := f.rest.Verify(f.ctx, man.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK() {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestVerifyDetectsMissingChunk(t *testing.T) {
+	f := newFixture(t, Config{Policy: PolicyFull})
+	man, err := f.eng.Write(f.ctx, f.trainAndSnapshot(t, 1, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.store.Delete(f.ctx, man.Tables[0].ChunkKeys[0]); err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.rest.Verify(f.ctx, man.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK() {
+		t.Fatal("missing chunk not detected")
+	}
+}
+
+func TestVerifyDetectsMissingDense(t *testing.T) {
+	f := newFixture(t, Config{Policy: PolicyFull})
+	man, err := f.eng.Write(f.ctx, f.trainAndSnapshot(t, 1, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.store.Delete(f.ctx, man.DenseKey); err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.rest.Verify(f.ctx, man.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK() {
+		t.Fatal("missing dense state not detected")
+	}
+}
+
+func TestVerifyDetectsBrokenChain(t *testing.T) {
+	f := newFixture(t, Config{Policy: PolicyOneShot})
+	for i := 0; i < 2; i++ {
+		if _, err := f.eng.Write(f.ctx, f.trainAndSnapshot(t, 1, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete the base manifest: the incremental's chain breaks.
+	keys, _ := f.store.List(f.ctx, "testjob/ckpt/00000000/")
+	for _, k := range keys {
+		f.store.Delete(f.ctx, k)
+	}
+	v, err := f.rest.Verify(f.ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ChainOK || v.OK() {
+		t.Fatal("broken chain not detected")
+	}
+}
+
+func TestVerifyUnknownID(t *testing.T) {
+	f := newFixture(t, Config{Policy: PolicyFull})
+	if _, err := f.rest.Verify(f.ctx, 99); err == nil {
+		t.Fatal("unknown checkpoint should error")
+	}
+}
+
+func TestVerifyAll(t *testing.T) {
+	f := newFixture(t, Config{Policy: PolicyConsecutive})
+	for i := 0; i < 3; i++ {
+		if _, err := f.eng.Write(f.ctx, f.trainAndSnapshot(t, 1, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := f.rest.VerifyAll(f.ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("scrubbed %d, want 3", len(results))
+	}
+	// Newest first.
+	if results[0].ID != 2 || results[2].ID != 0 {
+		t.Fatalf("order wrong: %d, %d, %d", results[0].ID, results[1].ID, results[2].ID)
+	}
+	for _, v := range results {
+		if !v.OK() {
+			t.Fatalf("checkpoint %d flagged: %v", v.ID, v.Problems)
+		}
+	}
+}

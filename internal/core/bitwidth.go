@@ -1,0 +1,48 @@
+// Package core implements the Check-N-Run controller (§4, Figure 7): it
+// coordinates the reader master and trainer around checkpoint intervals,
+// triggers snapshots, drives the checkpoint engine, selects quantization
+// bit-widths from failure estimates (§6.2.1), monitors checkpoint
+// validity, and performs recovery.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/quant"
+)
+
+// SelectBitWidth maps the expected number of checkpoint restores L to a
+// quantization bit-width using the thresholds measured in §6.2.1 /
+// Figure 14: 2-bit survives L <= 1 restore within the 0.01% accuracy
+// budget, 3-bit up to 3, 4-bit up to 20, and 8-bit beyond 100.
+func SelectBitWidth(expectedRestores float64) int {
+	switch {
+	case expectedRestores <= 1:
+		return 2
+	case expectedRestores <= 3:
+		return 3
+	case expectedRestores < 20:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// ParamsForBits returns the production quantizer for a bit-width
+// (§5.2 summary): adaptive asymmetric for 4 bits and below — with the
+// optimal bins from Figure 10 (25 for 2-3 bits, 45 for 4 bits) — and
+// naive asymmetric for 8 bits, where adaptation no longer pays.
+func ParamsForBits(bits int) (quant.Params, error) {
+	switch bits {
+	case 2, 3:
+		return quant.Params{Method: quant.MethodAdaptive, Bits: bits, NumBins: 25, Ratio: 1.0}, nil
+	case 4:
+		return quant.Params{Method: quant.MethodAdaptive, Bits: bits, NumBins: 45, Ratio: 1.0}, nil
+	case 8:
+		return quant.Params{Method: quant.MethodAsymmetric, Bits: 8}, nil
+	case 32:
+		return quant.Params{Method: quant.MethodNone}, nil
+	default:
+		return quant.Params{}, fmt.Errorf("core: unsupported bit-width %d (use 2, 3, 4, 8 or 32)", bits)
+	}
+}

@@ -1,0 +1,132 @@
+package embedding
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ShardedModel is the model-parallel layout of the sparse layer: whole
+// embedding tables assigned to trainer nodes (§2.1 — "the large footprint
+// of the sparse layer requires the distribution of the embedding tables
+// across multiple devices"). Assignment is greedy by byte size so node
+// footprints stay balanced, mirroring how production placements balance
+// HBM usage.
+type ShardedModel struct {
+	Tables []*Table
+	// owner[tableID] = node index
+	owner map[int]int
+	nodes int
+}
+
+// TableSpec describes one embedding table to create.
+type TableSpec struct {
+	Rows int
+	Dim  int
+	// InitScale is the uniform init range; zero means 0.01.
+	InitScale float32
+}
+
+// NewSharded creates the given tables and assigns them to nodes, largest
+// first onto the least-loaded node. rng seeds the weight init.
+func NewSharded(specs []TableSpec, nodes int, rng *rand.Rand) (*ShardedModel, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("embedding: nodes must be positive, got %d", nodes)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("embedding: no table specs")
+	}
+	m := &ShardedModel{owner: make(map[int]int, len(specs)), nodes: nodes}
+	for id, s := range specs {
+		scale := s.InitScale
+		if scale == 0 {
+			scale = 0.01
+		}
+		if s.Rows <= 0 || s.Dim <= 0 {
+			return nil, fmt.Errorf("embedding: table %d invalid spec %dx%d", id, s.Rows, s.Dim)
+		}
+		m.Tables = append(m.Tables, NewTable(id, s.Rows, s.Dim, scale, rng))
+	}
+
+	// Greedy balanced placement: biggest table to lightest node.
+	order := make([]int, len(m.Tables))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return m.Tables[order[a]].SizeBytes() > m.Tables[order[b]].SizeBytes()
+	})
+	load := make([]int64, nodes)
+	for _, ti := range order {
+		best := 0
+		for n := 1; n < nodes; n++ {
+			if load[n] < load[best] {
+				best = n
+			}
+		}
+		m.owner[m.Tables[ti].ID] = best
+		load[best] += m.Tables[ti].SizeBytes()
+	}
+	return m, nil
+}
+
+// Nodes returns the number of trainer nodes in the placement.
+func (m *ShardedModel) Nodes() int { return m.nodes }
+
+// Owner returns the node index owning tableID.
+func (m *ShardedModel) Owner(tableID int) int {
+	n, ok := m.owner[tableID]
+	if !ok {
+		panic(fmt.Sprintf("embedding: unknown table %d", tableID))
+	}
+	return n
+}
+
+// TablesOn returns the tables owned by node n, ordered by table ID.
+func (m *ShardedModel) TablesOn(n int) []*Table {
+	var out []*Table
+	for _, t := range m.Tables {
+		if m.owner[t.ID] == n {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Table returns the table with the given ID, or nil.
+func (m *ShardedModel) Table(id int) *Table {
+	for _, t := range m.Tables {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// TotalBytes returns the checkpointable size of the sparse layer.
+func (m *ShardedModel) TotalBytes() int64 {
+	var n int64
+	for _, t := range m.Tables {
+		n += t.SizeBytes()
+	}
+	return n
+}
+
+// TotalRows returns the number of embedding rows across tables.
+func (m *ShardedModel) TotalRows() int {
+	n := 0
+	for _, t := range m.Tables {
+		n += t.Rows
+	}
+	return n
+}
+
+// NodeBytes returns per-node checkpointable bytes, for balance assertions.
+func (m *ShardedModel) NodeBytes() []int64 {
+	out := make([]int64, m.nodes)
+	for _, t := range m.Tables {
+		out[m.owner[t.ID]] += t.SizeBytes()
+	}
+	return out
+}

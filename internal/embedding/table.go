@@ -1,0 +1,107 @@
+// Package embedding implements the sparse half of the recommendation model:
+// embedding tables, their per-row optimizer state, sharding across trainer
+// nodes, and the modified-row tracker that powers incremental checkpointing
+// (§2.1, §5.1 of the Check-N-Run paper).
+//
+// Embedding tables dominate the model footprint (> 99% in the paper). Each
+// table maps a categorical ID to a dense fp32 vector; a training sample
+// looks up one or more rows per table, and only those rows are updated in
+// the backward pass. That access sparsity is the property incremental
+// checkpointing exploits.
+package embedding
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Table is one embedding table: Rows vectors of dimension Dim, plus the
+// row-wise AdaGrad accumulator that production recommendation trainers
+// carry for sparse parameters. The optimizer state is part of the trainer
+// state and therefore part of every checkpoint (§4.1).
+type Table struct {
+	ID   int
+	Rows int
+	Dim  int
+
+	// Weights holds the embedding vectors, row-major.
+	Weights *tensor.Matrix
+	// Accum is the per-row AdaGrad squared-gradient accumulator.
+	Accum []float32
+}
+
+// NewTable allocates a table and initializes the weights uniformly in
+// [-scale, scale), the usual init for embedding vectors.
+func NewTable(id, rows, dim int, scale float32, rng *rand.Rand) *Table {
+	if rows <= 0 || dim <= 0 {
+		panic(fmt.Sprintf("embedding: NewTable(%d, %d) invalid dims", rows, dim))
+	}
+	t := &Table{
+		ID:      id,
+		Rows:    rows,
+		Dim:     dim,
+		Weights: tensor.NewMatrix(rows, dim),
+		Accum:   make([]float32, rows),
+	}
+	t.Weights.FillUniform(rng, scale)
+	return t
+}
+
+// Lookup returns a view of row idx.
+func (t *Table) Lookup(idx int) tensor.Vector {
+	return t.Weights.Row(idx)
+}
+
+// ApplyGrad performs a row-wise AdaGrad update on row idx with gradient g:
+//
+//	accum += mean(g^2); row -= lr / sqrt(accum + eps) * g
+//
+// This matches the sparse optimizer used for DLRM embedding tables. It
+// returns nothing; the caller is responsible for marking the row modified
+// in its tracker.
+func (t *Table) ApplyGrad(idx int, g tensor.Vector, lr float32) {
+	if len(g) != t.Dim {
+		panic(fmt.Sprintf("embedding: ApplyGrad dim %d != %d", len(g), t.Dim))
+	}
+	var sum float64
+	for _, v := range g {
+		sum += float64(v) * float64(v)
+	}
+	t.Accum[idx] += float32(sum / float64(t.Dim))
+	step := lr / sqrt32(t.Accum[idx]+1e-8)
+	row := t.Weights.Row(idx)
+	for i, v := range g {
+		row[i] -= step * v
+	}
+}
+
+// SizeBytes returns the checkpointable byte size of the table: fp32
+// weights plus the per-row accumulator.
+func (t *Table) SizeBytes() int64 {
+	return int64(t.Rows)*int64(t.Dim)*4 + int64(t.Rows)*4
+}
+
+// CopyRow copies row idx into dst, which must have length Dim. Used by the
+// snapshot path so background processes never alias live training memory.
+func (t *Table) CopyRow(idx int, dst tensor.Vector) {
+	copy(dst, t.Weights.Row(idx))
+}
+
+// Clone deep-copies the table (snapshot of a shard).
+func (t *Table) Clone() *Table {
+	c := &Table{
+		ID:      t.ID,
+		Rows:    t.Rows,
+		Dim:     t.Dim,
+		Weights: t.Weights.Clone(),
+		Accum:   append([]float32(nil), t.Accum...),
+	}
+	return c
+}
+
+func sqrt32(x float32) float32 {
+	return float32(math.Sqrt(float64(x)))
+}

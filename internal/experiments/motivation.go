@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/failure"
+	"repro/internal/stats"
+)
+
+// Fig3Config sizes the failure-CDF experiment.
+type Fig3Config struct {
+	// Jobs is the number of failed jobs sampled (the paper observes one
+	// month over 21 clusters).
+	Jobs int
+	Seed int64
+}
+
+// DefaultFig3 mirrors a month of cluster-scale failures.
+func DefaultFig3() Fig3Config { return Fig3Config{Jobs: 5000, Seed: 3} }
+
+// Fig3FailureCDF regenerates Figure 3: the CDF of training-job execution
+// time before failure, with sub-5-minute jobs filtered as setup errors.
+func Fig3FailureCDF(cfg Fig3Config) *Result {
+	samples := failure.CollectTTF(failure.PaperWeibull(), cfg.Jobs, 5*time.Minute, cfg.Seed)
+	cdf := failure.CDFHours(samples)
+	r := &Result{
+		ID:     "fig3",
+		Title:  "Training job failure CDF (time-to-failure)",
+		XLabel: "hours",
+		YLabel: "fraction of failed jobs",
+		Series: []stats.Series{{Name: "CDF", Points: cdf.Points(24)}},
+	}
+	p90 := cdf.Quantile(0.90)
+	p99 := cdf.Quantile(0.99)
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("P90 = %.1f h (paper: longest 10%% of failed jobs ran >= 13.5 h)", p90),
+		fmt.Sprintf("P99 = %.1f h (paper: top 1%% ran >= 53.9 h)", p99),
+	)
+	return r
+}
+
+// Fig4ModelGrowth regenerates Figure 4: normalized recommendation-model
+// size over two years. The paper redacts absolute sizes; the series here
+// reproduces the reported shape (over 3x growth in under two years) from
+// a quarterly model-revision schedule where embedding tables grow with
+// feature additions.
+func Fig4ModelGrowth() *Result {
+	// Quarterly revisions: rows grow ~20% per quarter and a new feature
+	// (table) lands every other quarter — typical production cadence.
+	baseRows := 1 << 20
+	baseTables := 24
+	points := make([]stats.Point, 0, 9)
+	var first float64
+	for q := 0; q <= 8; q++ {
+		rows := float64(baseRows)
+		growth := 1.0
+		for i := 0; i < q; i++ {
+			growth *= 1.18
+		}
+		tables := baseTables + q/2*2
+		size := rows * growth * float64(tables)
+		if q == 0 {
+			first = size
+		}
+		points = append(points, stats.Point{X: float64(q) * 0.25, Y: size / first})
+	}
+	final := points[len(points)-1].Y
+	return &Result{
+		ID:     "fig4",
+		Title:  "Normalized model size over 2 years",
+		XLabel: "years",
+		YLabel: "normalized size",
+		Series: []stats.Series{{Name: "model size", Points: points}},
+		Notes: []string{
+			fmt.Sprintf("growth over 2 years: %.1fx (paper: >3x)", final),
+		},
+	}
+}
+
+// Fig5Config sizes the modified-fraction-vs-samples experiment.
+type Fig5Config struct {
+	// Samples is the total stream length (stands in for the paper's 11
+	// billion records at laptop scale).
+	Samples int
+	// Points is the number of measurement points per curve.
+	Points int
+	Spec   data.Spec
+}
+
+// DefaultFig5 uses a skewed workload tuned so the full-stream curve
+// saturates near the paper's value (52% of the model touched after the
+// whole stream).
+func DefaultFig5() Fig5Config {
+	spec := data.DefaultSpec()
+	spec.TableRows = []int{16384, 16384, 32768, 32768}
+	spec.ZipfS = 1.45
+	spec.TailFraction = 0.12
+	return Fig5Config{Samples: 120_000, Points: 12, Spec: spec}
+}
+
+// Fig5ModifiedFraction regenerates Figure 5: the fraction of the model
+// modified as a function of training samples, measured from three
+// different starting points (0, ~4/11 and ~8/11 of the stream). Only
+// access draws matter (every row read in the forward pass is written in
+// the backward pass), so the experiment replays the sample stream against
+// trackers without running the dense math.
+func Fig5ModifiedFraction(cfg Fig5Config) (*Result, error) {
+	gen, err := data.NewGenerator(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	totalRows := 0
+	for _, r := range cfg.Spec.TableRows {
+		totalRows += r
+	}
+	starts := []int{0, cfg.Samples * 4 / 11, cfg.Samples * 8 / 11}
+	type curve struct {
+		start   int
+		touched []map[int]bool // per table
+		points  []stats.Point
+	}
+	curves := make([]*curve, len(starts))
+	for i, s := range starts {
+		c := &curve{start: s, touched: make([]map[int]bool, len(cfg.Spec.TableRows))}
+		for t := range c.touched {
+			c.touched[t] = make(map[int]bool)
+		}
+		curves[i] = c
+	}
+	every := cfg.Samples / cfg.Points
+	if every == 0 {
+		every = 1
+	}
+	for i := 0; i < cfg.Samples; i++ {
+		s := gen.Next()
+		for _, c := range curves {
+			if i < c.start {
+				continue
+			}
+			for t, id := range s.Sparse {
+				c.touched[t][id] = true
+			}
+		}
+		if (i+1)%every == 0 {
+			for _, c := range curves {
+				if i < c.start {
+					continue
+				}
+				n := 0
+				for _, m := range c.touched {
+					n += len(m)
+				}
+				c.points = append(c.points, stats.Point{
+					X: float64(i + 1),
+					Y: float64(n) / float64(totalRows) * 100,
+				})
+			}
+		}
+	}
+	r := &Result{
+		ID:     "fig5",
+		Title:  "Fraction of model modified vs training samples (3 starting points)",
+		XLabel: "samples",
+		YLabel: "% of model size",
+	}
+	for i, c := range curves {
+		r.Series = append(r.Series, stats.Series{
+			Name:   fmt.Sprintf("start@%d", starts[i]),
+			Points: c.points,
+		})
+	}
+	final := curves[0].points[len(curves[0].points)-1].Y
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("full-stream curve reaches %.1f%% (paper: 52%% after 11B records)", final),
+		"all three curves grow with similar slope regardless of starting point")
+	return r, nil
+}
+
+// Fig6Config sizes the per-interval modified-fraction experiment.
+type Fig6Config struct {
+	// SamplesPerMinute scales virtual minutes to sample counts.
+	SamplesPerMinute int
+	// TotalMinutes is the observation span (paper: ~360).
+	TotalMinutes int
+	// WindowsMinutes are the interval lengths (paper: 10/20/30/60).
+	WindowsMinutes []int
+	Spec           data.Spec
+}
+
+// DefaultFig6 mirrors the paper's windows over a 360-minute span, with a
+// workload density tuned so 30-minute windows modify ~26% of the model
+// as in the paper.
+func DefaultFig6() Fig6Config {
+	spec := data.DefaultSpec()
+	spec.TableRows = []int{8192, 8192, 16384, 16384}
+	spec.ZipfS = 1.35
+	spec.TailFraction = 0.25
+	return Fig6Config{
+		SamplesPerMinute: 400,
+		TotalMinutes:     360,
+		WindowsMinutes:   []int{10, 20, 30, 60},
+		Spec:             spec,
+	}
+}
+
+// Fig6IntervalModified regenerates Figure 6: the fraction of the model
+// modified during fixed-length windows. For a given window length the
+// fraction stays nearly constant across the run (the property that makes
+// incremental checkpoint sizes predictable).
+func Fig6IntervalModified(cfg Fig6Config) (*Result, error) {
+	gen, err := data.NewGenerator(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	totalRows := 0
+	for _, r := range cfg.Spec.TableRows {
+		totalRows += r
+	}
+	totalSamples := cfg.SamplesPerMinute * cfg.TotalMinutes
+	// Pre-draw the access stream once.
+	type access struct{ table, id int }
+	accesses := make([][]access, totalSamples)
+	for i := 0; i < totalSamples; i++ {
+		s := gen.Next()
+		row := make([]access, len(s.Sparse))
+		for t, id := range s.Sparse {
+			row[t] = access{table: t, id: id}
+		}
+		accesses[i] = row
+	}
+	r := &Result{
+		ID:     "fig6",
+		Title:  "Fraction of model modified per time window",
+		XLabel: "window end (minutes)",
+		YLabel: "% of model size",
+	}
+	for _, w := range cfg.WindowsMinutes {
+		winSamples := w * cfg.SamplesPerMinute
+		var pts []stats.Point
+		for start := 0; start+winSamples <= totalSamples; start += winSamples {
+			touched := make(map[[2]int]bool)
+			for i := start; i < start+winSamples; i++ {
+				for _, a := range accesses[i] {
+					touched[[2]int{a.table, a.id}] = true
+				}
+			}
+			endMin := float64(start+winSamples) / float64(cfg.SamplesPerMinute)
+			pts = append(pts, stats.Point{X: endMin, Y: float64(len(touched)) / float64(totalRows) * 100})
+		}
+		r.Series = append(r.Series, stats.Series{Name: fmt.Sprintf("%d min", w), Points: pts})
+	}
+	// Note the 30-minute mean, the paper's headline (~26%).
+	for _, s := range r.Series {
+		if s.Name == "30 min" {
+			var ys []float64
+			for _, p := range s.Points {
+				ys = append(ys, p.Y)
+			}
+			r.Notes = append(r.Notes, fmt.Sprintf(
+				"30-minute windows modify %.1f%% ± %.1f%% of the model (paper: ~26%%, near-constant)",
+				stats.Mean(ys), stats.Stddev(ys)))
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,56 @@
+package model
+
+import (
+	"sort"
+
+	"repro/internal/data"
+)
+
+// EvalAUC computes the area under the ROC curve over n held-out samples
+// drawn from gen starting at a fixed offset — the ranking-quality metric
+// production recommendation systems report alongside loss. Ties receive
+// the standard half-credit. It returns 0.5 when either class is absent.
+func (d *DLRM) EvalAUC(gen *data.Generator, start uint64, n int) float64 {
+	if n <= 0 {
+		return 0.5
+	}
+	type scored struct {
+		logit float32
+		pos   bool
+	}
+	items := make([]scored, 0, n)
+	pos, neg := 0, 0
+	for i := 0; i < n; i++ {
+		s := gen.At(start + uint64(i))
+		isPos := s.Label == 1
+		if isPos {
+			pos++
+		} else {
+			neg++
+		}
+		items = append(items, scored{logit: d.Forward(&s), pos: isPos})
+	}
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	// Rank-sum (Mann-Whitney U) formulation with midranks for ties.
+	sort.Slice(items, func(a, b int) bool { return items[a].logit < items[b].logit })
+	var rankSumPos float64
+	i := 0
+	for i < len(items) {
+		j := i
+		for j < len(items) && items[j].logit == items[i].logit {
+			j++
+		}
+		// Ranks i+1..j share the midrank.
+		midrank := float64(i+j+1) / 2
+		for k := i; k < j; k++ {
+			if items[k].pos {
+				rankSumPos += midrank
+			}
+		}
+		i = j
+	}
+	u := rankSumPos - float64(pos)*float64(pos+1)/2
+	return u / (float64(pos) * float64(neg))
+}

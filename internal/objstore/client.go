@@ -1,0 +1,213 @@
+package objstore
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client is a Store backed by a remote Server over TCP. It maintains a
+// small connection pool so the checkpoint writer can pipeline concurrent
+// chunk uploads, and transparently redials broken connections.
+type Client struct {
+	addr     string
+	poolSize int
+	timeout  time.Duration
+
+	mu     sync.Mutex
+	idle   []*clientConn
+	closed bool
+}
+
+type clientConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// ClientConfig configures Dial.
+type ClientConfig struct {
+	// PoolSize caps pooled idle connections; zero means 4.
+	PoolSize int
+	// DialTimeout bounds connection establishment; zero means 5s.
+	DialTimeout time.Duration
+}
+
+// Dial connects to a Server at addr and verifies reachability with a
+// List probe.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 4
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	cl := &Client{addr: addr, poolSize: cfg.PoolSize, timeout: cfg.DialTimeout}
+	// Probe.
+	if _, err := cl.List(context.Background(), "\x00probe\x00"); err != nil {
+		return nil, fmt.Errorf("objstore: dial probe: %w", err)
+	}
+	return cl, nil
+}
+
+func (cl *Client) acquire() (*clientConn, error) {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if n := len(cl.idle); n > 0 {
+		cc := cl.idle[n-1]
+		cl.idle = cl.idle[:n-1]
+		cl.mu.Unlock()
+		return cc, nil
+	}
+	cl.mu.Unlock()
+	c, err := net.DialTimeout("tcp", cl.addr, cl.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("objstore: dial %s: %w", cl.addr, err)
+	}
+	return &clientConn{
+		c:  c,
+		br: bufio.NewReaderSize(c, 64<<10),
+		bw: bufio.NewWriterSize(c, 64<<10),
+	}, nil
+}
+
+func (cl *Client) release(cc *clientConn, broken bool) {
+	if broken {
+		cc.c.Close()
+		return
+	}
+	cl.mu.Lock()
+	if cl.closed || len(cl.idle) >= cl.poolSize {
+		cl.mu.Unlock()
+		cc.c.Close()
+		return
+	}
+	cl.idle = append(cl.idle, cc)
+	cl.mu.Unlock()
+}
+
+// roundTrip sends one request and reads its response on a pooled
+// connection, honoring ctx deadlines via the connection deadline.
+func (cl *Client) roundTrip(ctx context.Context, req *request) (uint8, []byte, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	cc, err := cl.acquire()
+	if err != nil {
+		return 0, nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		cc.c.SetDeadline(dl)
+	} else {
+		cc.c.SetDeadline(time.Time{})
+	}
+	if err := writeRequest(cc.bw, req); err != nil {
+		cl.release(cc, true)
+		return 0, nil, err
+	}
+	if err := cc.bw.Flush(); err != nil {
+		cl.release(cc, true)
+		return 0, nil, err
+	}
+	status, payload, err := readResponse(cc.br)
+	if err != nil {
+		cl.release(cc, true)
+		return 0, nil, err
+	}
+	cl.release(cc, false)
+	return status, payload, nil
+}
+
+func statusErr(status uint8, payload []byte) error {
+	switch status {
+	case statusOK:
+		return nil
+	case statusNotFound:
+		return ErrNotFound
+	default:
+		return fmt.Errorf("objstore: server error: %s", payload)
+	}
+}
+
+// Put implements Store.
+func (cl *Client) Put(ctx context.Context, key string, value []byte) error {
+	status, payload, err := cl.roundTrip(ctx, &request{op: opPut, key: key, value: value})
+	if err != nil {
+		return err
+	}
+	return statusErr(status, payload)
+}
+
+// Get implements Store.
+func (cl *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	status, payload, err := cl.roundTrip(ctx, &request{op: opGet, key: key})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(status, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Delete implements Store.
+func (cl *Client) Delete(ctx context.Context, key string) error {
+	status, payload, err := cl.roundTrip(ctx, &request{op: opDelete, key: key})
+	if err != nil {
+		return err
+	}
+	return statusErr(status, payload)
+}
+
+// List implements Store.
+func (cl *Client) List(ctx context.Context, prefix string) ([]string, error) {
+	status, payload, err := cl.roundTrip(ctx, &request{op: opList, key: prefix})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(status, payload); err != nil {
+		return nil, err
+	}
+	if len(payload) == 0 {
+		return nil, nil
+	}
+	return strings.Split(string(payload), "\n"), nil
+}
+
+// Stat implements Store.
+func (cl *Client) Stat(ctx context.Context, key string) (int64, error) {
+	status, payload, err := cl.roundTrip(ctx, &request{op: opStat, key: key})
+	if err != nil {
+		return 0, err
+	}
+	if err := statusErr(status, payload); err != nil {
+		return 0, err
+	}
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("objstore: malformed stat response: %d bytes", len(payload))
+	}
+	return int64(binary.LittleEndian.Uint64(payload)), nil
+}
+
+// Close closes all pooled connections.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed {
+		return nil
+	}
+	cl.closed = true
+	for _, cc := range cl.idle {
+		cc.c.Close()
+	}
+	cl.idle = nil
+	return nil
+}

@@ -1,0 +1,184 @@
+package objstore
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/simclock"
+)
+
+// MemConfig configures a MemStore.
+type MemConfig struct {
+	// Replication is the storage replication factor applied to capacity
+	// and bandwidth accounting (the paper's store replicates for high
+	// availability). Zero means 1.
+	Replication int
+	// WriteBandwidth, if positive, throttles Put calls to this many
+	// bytes per second on Clock.
+	WriteBandwidth float64
+	// Clock is used for throttling; nil means the real clock.
+	Clock simclock.Clock
+}
+
+// MemStore is an in-memory Store with replication-aware accounting and
+// optional bandwidth shaping. It is safe for concurrent use.
+type MemStore struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+	closed  bool
+
+	replication int
+	throttle    *Throttle
+
+	usage Usage
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore(cfg MemConfig) *MemStore {
+	if cfg.Replication <= 0 {
+		cfg.Replication = 1
+	}
+	s := &MemStore{
+		objects:     make(map[string][]byte),
+		replication: cfg.Replication,
+	}
+	if cfg.WriteBandwidth > 0 {
+		clock := cfg.Clock
+		if clock == nil {
+			clock = simclock.Real{}
+		}
+		s.throttle = NewThrottle(cfg.WriteBandwidth, clock)
+	}
+	return s
+}
+
+// Put stores value under key, charging bandwidth and capacity for
+// replication copies.
+func (s *MemStore) Put(ctx context.Context, key string, value []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.throttle != nil {
+		if err := s.throttle.Wait(ctx, int64(len(value))*int64(s.replication)); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	stored := append([]byte(nil), value...)
+	if old, ok := s.objects[key]; ok {
+		s.usage.CapacityBytes -= int64(len(old)) * int64(s.replication)
+	} else {
+		s.usage.Objects++
+	}
+	s.objects[key] = stored
+	s.usage.Puts++
+	s.usage.BytesWritten += int64(len(value)) * int64(s.replication)
+	s.usage.CapacityBytes += int64(len(value)) * int64(s.replication)
+	return nil
+}
+
+// Get returns a copy of the value stored under key.
+func (s *MemStore) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	v, ok := s.objects[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	s.usage.Gets++
+	s.usage.BytesRead += int64(len(v))
+	return append([]byte(nil), v...), nil
+}
+
+// Delete removes key and releases its capacity.
+func (s *MemStore) Delete(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	v, ok := s.objects[key]
+	if !ok {
+		return ErrNotFound
+	}
+	delete(s.objects, key)
+	s.usage.Deletes++
+	s.usage.Objects--
+	s.usage.CapacityBytes -= int64(len(v)) * int64(s.replication)
+	return nil
+}
+
+// List returns sorted keys with the given prefix.
+func (s *MemStore) List(ctx context.Context, prefix string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	var keys []string
+	for k := range s.objects {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Stat returns the unreplicated size of key.
+func (s *MemStore) Stat(ctx context.Context, key string) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	v, ok := s.objects[key]
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return int64(len(v)), nil
+}
+
+// Close marks the store closed. Further operations return ErrClosed.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return nil
+}
+
+// Usage returns a snapshot of the accounting counters.
+func (s *MemStore) Usage() Usage {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.usage
+}
+
+// ResetBandwidth zeroes the cumulative bandwidth counters.
+func (s *MemStore) ResetBandwidth() {
+	s.mu.Lock()
+	s.usage.BytesWritten = 0
+	s.usage.BytesRead = 0
+	s.mu.Unlock()
+}

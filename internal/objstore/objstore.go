@@ -1,0 +1,59 @@
+// Package objstore implements the remote checkpoint storage tier of §2.2:
+// an object-store abstraction with an in-memory backend, token-bucket
+// bandwidth shaping, replication-aware capacity accounting, and a real
+// TCP server/client pair speaking a compact length-prefixed protocol.
+//
+// The paper's checkpoints go to a planet-scale replicated object store
+// whose write bandwidth is the system bottleneck; this package reproduces
+// the two properties that matter for the evaluation — byte-exact write
+// accounting and configurable bandwidth — while the TCP path exercises the
+// same code the trainer would use against a real remote store.
+package objstore
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrNotFound is returned by Get/Delete/Stat for missing keys.
+var ErrNotFound = errors.New("objstore: key not found")
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("objstore: store closed")
+
+// Store is the object storage interface used by the checkpoint engine.
+// Values are immutable once put; a Put to an existing key overwrites it.
+type Store interface {
+	// Put stores value under key.
+	Put(ctx context.Context, key string, value []byte) error
+	// Get returns the value stored under key, or ErrNotFound.
+	Get(ctx context.Context, key string) ([]byte, error)
+	// Delete removes key. Deleting a missing key returns ErrNotFound.
+	Delete(ctx context.Context, key string) error
+	// List returns all keys with the given prefix, sorted.
+	List(ctx context.Context, prefix string) ([]string, error)
+	// Stat returns the stored size of key, or ErrNotFound.
+	Stat(ctx context.Context, key string) (int64, error)
+	// Close releases resources.
+	Close() error
+}
+
+// Usage is a snapshot of a store's accounting counters. BytesWritten is
+// cumulative (the bandwidth metric of Figure 15/17); CapacityBytes is the
+// currently-occupied capacity (Figure 16/17). Both include the replication
+// factor.
+type Usage struct {
+	BytesWritten        int64
+	BytesRead           int64
+	CapacityBytes       int64
+	Objects             int
+	Puts, Gets, Deletes int64
+}
+
+// Accountant is implemented by stores that expose usage counters.
+type Accountant interface {
+	Usage() Usage
+	// ResetBandwidth zeroes the cumulative read/write counters (capacity
+	// is preserved); experiments call it at interval boundaries.
+	ResetBandwidth()
+}

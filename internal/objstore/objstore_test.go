@@ -1,0 +1,557 @@
+package objstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestMemStorePutGet(t *testing.T) {
+	s := NewMemStore(MemConfig{})
+	ctx := ctxT(t)
+	if err := s.Put(ctx, "a/b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get(ctx, "a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "hello" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestMemStoreGetCopies(t *testing.T) {
+	s := NewMemStore(MemConfig{})
+	ctx := ctxT(t)
+	orig := []byte("data")
+	s.Put(ctx, "k", orig)
+	orig[0] = 'X' // caller mutation must not affect stored value
+	v, _ := s.Get(ctx, "k")
+	if string(v) != "data" {
+		t.Fatalf("stored value aliased caller buffer: %q", v)
+	}
+	v[0] = 'Y' // returned value mutation must not affect store
+	v2, _ := s.Get(ctx, "k")
+	if string(v2) != "data" {
+		t.Fatalf("returned value aliased store: %q", v2)
+	}
+}
+
+func TestMemStoreNotFound(t *testing.T) {
+	s := NewMemStore(MemConfig{})
+	ctx := ctxT(t)
+	if _, err := s.Get(ctx, "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get err = %v", err)
+	}
+	if err := s.Delete(ctx, "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete err = %v", err)
+	}
+	if _, err := s.Stat(ctx, "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Stat err = %v", err)
+	}
+}
+
+func TestMemStoreDeleteReleasesCapacity(t *testing.T) {
+	s := NewMemStore(MemConfig{})
+	ctx := ctxT(t)
+	s.Put(ctx, "k", make([]byte, 100))
+	if got := s.Usage().CapacityBytes; got != 100 {
+		t.Fatalf("capacity = %d", got)
+	}
+	s.Delete(ctx, "k")
+	u := s.Usage()
+	if u.CapacityBytes != 0 || u.Objects != 0 {
+		t.Fatalf("capacity after delete = %+v", u)
+	}
+	// Bandwidth stays cumulative.
+	if u.BytesWritten != 100 {
+		t.Fatalf("bytes written = %d", u.BytesWritten)
+	}
+}
+
+func TestMemStoreOverwriteAccounting(t *testing.T) {
+	s := NewMemStore(MemConfig{})
+	ctx := ctxT(t)
+	s.Put(ctx, "k", make([]byte, 100))
+	s.Put(ctx, "k", make([]byte, 40))
+	u := s.Usage()
+	if u.CapacityBytes != 40 {
+		t.Fatalf("capacity = %d, want 40", u.CapacityBytes)
+	}
+	if u.BytesWritten != 140 {
+		t.Fatalf("bytes written = %d, want 140", u.BytesWritten)
+	}
+	if u.Objects != 1 {
+		t.Fatalf("objects = %d, want 1", u.Objects)
+	}
+}
+
+func TestMemStoreReplicationAccounting(t *testing.T) {
+	s := NewMemStore(MemConfig{Replication: 3})
+	ctx := ctxT(t)
+	s.Put(ctx, "k", make([]byte, 10))
+	u := s.Usage()
+	if u.BytesWritten != 30 || u.CapacityBytes != 30 {
+		t.Fatalf("replicated accounting wrong: %+v", u)
+	}
+	s.Delete(ctx, "k")
+	if s.Usage().CapacityBytes != 0 {
+		t.Fatal("replicated capacity not released")
+	}
+}
+
+func TestMemStoreList(t *testing.T) {
+	s := NewMemStore(MemConfig{})
+	ctx := ctxT(t)
+	for _, k := range []string{"ckpt/2/a", "ckpt/1/b", "ckpt/1/a", "other"} {
+		s.Put(ctx, k, []byte("x"))
+	}
+	keys, err := s.List(ctx, "ckpt/1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "ckpt/1/a" || keys[1] != "ckpt/1/b" {
+		t.Fatalf("List = %v", keys)
+	}
+	all, _ := s.List(ctx, "")
+	if len(all) != 4 {
+		t.Fatalf("List all = %v", all)
+	}
+}
+
+func TestMemStoreStat(t *testing.T) {
+	s := NewMemStore(MemConfig{})
+	ctx := ctxT(t)
+	s.Put(ctx, "k", make([]byte, 77))
+	n, err := s.Stat(ctx, "k")
+	if err != nil || n != 77 {
+		t.Fatalf("Stat = %d, %v", n, err)
+	}
+}
+
+func TestMemStoreClosed(t *testing.T) {
+	s := NewMemStore(MemConfig{})
+	ctx := ctxT(t)
+	s.Close()
+	if err := s.Put(ctx, "k", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put err = %v", err)
+	}
+	if _, err := s.Get(ctx, "k"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get err = %v", err)
+	}
+	if _, err := s.List(ctx, ""); !errors.Is(err, ErrClosed) {
+		t.Fatalf("List err = %v", err)
+	}
+}
+
+func TestMemStoreContextCancelled(t *testing.T) {
+	s := NewMemStore(MemConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Put(ctx, "k", nil); err == nil {
+		t.Fatal("cancelled context should error")
+	}
+}
+
+func TestMemStoreResetBandwidth(t *testing.T) {
+	s := NewMemStore(MemConfig{})
+	ctx := ctxT(t)
+	s.Put(ctx, "k", make([]byte, 50))
+	s.ResetBandwidth()
+	u := s.Usage()
+	if u.BytesWritten != 0 {
+		t.Fatal("bandwidth not reset")
+	}
+	if u.CapacityBytes != 50 {
+		t.Fatal("capacity should survive bandwidth reset")
+	}
+}
+
+func TestMemStoreConcurrent(t *testing.T) {
+	s := NewMemStore(MemConfig{})
+	ctx := ctxT(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("g%d/k%d", g, i)
+				if err := s.Put(ctx, key, []byte(key)); err != nil {
+					t.Error(err)
+					return
+				}
+				v, err := s.Get(ctx, key)
+				if err != nil || string(v) != key {
+					t.Errorf("get %s: %q %v", key, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if u := s.Usage(); u.Objects != 400 {
+		t.Fatalf("objects = %d, want 400", u.Objects)
+	}
+}
+
+func TestThrottleVirtualTime(t *testing.T) {
+	clock := simclock.NewSim(time.Time{})
+	th := NewThrottle(1000, clock) // 1000 B/s
+	ctx := context.Background()
+	start := clock.Now()
+	if err := th.Wait(ctx, 500); err != nil {
+		t.Fatal(err)
+	}
+	// First wait reserves but does not block (link was free).
+	if d := clock.Since(start); d != 0 {
+		t.Fatalf("first wait advanced clock by %v", d)
+	}
+	// Second wait must wait out the 500ms reservation.
+	if err := th.Wait(ctx, 500); err != nil {
+		t.Fatal(err)
+	}
+	if d := clock.Since(start); d != 500*time.Millisecond {
+		t.Fatalf("second wait advanced clock by %v, want 500ms", d)
+	}
+	if bl := th.Backlog(); bl != 500*time.Millisecond {
+		t.Fatalf("backlog = %v, want 500ms", bl)
+	}
+}
+
+func TestThrottleTransferTime(t *testing.T) {
+	th := NewThrottle(1<<20, simclock.NewSim(time.Time{}))
+	if d := th.TransferTime(1 << 20); d != time.Second {
+		t.Fatalf("TransferTime = %v, want 1s", d)
+	}
+}
+
+func TestThrottleZeroBytes(t *testing.T) {
+	th := NewThrottle(100, simclock.NewSim(time.Time{}))
+	if err := th.Wait(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThrottleInvalidRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewThrottle(0, nil)
+}
+
+func TestMemStoreThrottledPutAdvancesClock(t *testing.T) {
+	clock := simclock.NewSim(time.Time{})
+	s := NewMemStore(MemConfig{WriteBandwidth: 1 << 10, Clock: clock})
+	ctx := ctxT(t)
+	start := clock.Now()
+	s.Put(ctx, "a", make([]byte, 1024))
+	s.Put(ctx, "b", make([]byte, 1024)) // waits for a's reservation
+	if d := clock.Since(start); d != time.Second {
+		t.Fatalf("clock advanced %v, want 1s", d)
+	}
+}
+
+// --- TCP server/client tests ---
+
+func newTCPPair(t *testing.T) (*Client, *MemStore) {
+	t.Helper()
+	backend := NewMemStore(MemConfig{})
+	srv, err := NewServer("127.0.0.1:0", backend, ServerConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl, err := Dial(srv.Addr(), ClientConfig{PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl, backend
+}
+
+func TestTCPPutGetDelete(t *testing.T) {
+	cl, _ := newTCPPair(t)
+	ctx := ctxT(t)
+	value := bytes.Repeat([]byte("checkpoint-chunk-"), 1000)
+	if err := cl.Put(ctx, "ckpt/0/chunk/0", value); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Get(ctx, "ckpt/0/chunk/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, value) {
+		t.Fatalf("value mismatch: %d vs %d bytes", len(got), len(value))
+	}
+	if err := cl.Delete(ctx, "ckpt/0/chunk/0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get(ctx, "ckpt/0/chunk/0"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after delete: %v", err)
+	}
+}
+
+func TestTCPNotFound(t *testing.T) {
+	cl, _ := newTCPPair(t)
+	ctx := ctxT(t)
+	if _, err := cl.Get(ctx, "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get = %v", err)
+	}
+	if err := cl.Delete(ctx, "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete = %v", err)
+	}
+	if _, err := cl.Stat(ctx, "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Stat = %v", err)
+	}
+}
+
+func TestTCPListAndStat(t *testing.T) {
+	cl, _ := newTCPPair(t)
+	ctx := ctxT(t)
+	cl.Put(ctx, "a/1", make([]byte, 10))
+	cl.Put(ctx, "a/2", make([]byte, 20))
+	cl.Put(ctx, "b/1", make([]byte, 30))
+	keys, err := cl.List(ctx, "a/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "a/1" || keys[1] != "a/2" {
+		t.Fatalf("List = %v", keys)
+	}
+	empty, err := cl.List(ctx, "zzz")
+	if err != nil || empty != nil {
+		t.Fatalf("empty List = %v, %v", empty, err)
+	}
+	n, err := cl.Stat(ctx, "a/2")
+	if err != nil || n != 20 {
+		t.Fatalf("Stat = %d, %v", n, err)
+	}
+}
+
+func TestTCPEmptyValue(t *testing.T) {
+	cl, _ := newTCPPair(t)
+	ctx := ctxT(t)
+	if err := cl.Put(ctx, "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cl.Get(ctx, "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("got %d bytes", len(v))
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	cl, backend := newTCPPair(t)
+	ctx := ctxT(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := fmt.Sprintf("c%d/k%d", g, i)
+				if err := cl.Put(ctx, key, []byte(key)); err != nil {
+					errs <- err
+					return
+				}
+				v, err := cl.Get(ctx, key)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if string(v) != key {
+					errs <- fmt.Errorf("mismatch %s", key)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if u := backend.Usage(); u.Objects != 160 {
+		t.Fatalf("objects = %d, want 160", u.Objects)
+	}
+}
+
+func TestTCPServerClose(t *testing.T) {
+	backend := NewMemStore(MemConfig{})
+	srv, err := NewServer("127.0.0.1:0", backend, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(srv.Addr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent close.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Requests after close fail.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := cl.Put(ctx, "k", []byte("v")); err == nil {
+		t.Fatal("Put after server close should fail")
+	}
+}
+
+func TestTCPClientClosed(t *testing.T) {
+	cl, _ := newTCPPair(t)
+	cl.Close()
+	cl.Close() // idempotent
+	if err := cl.Put(context.Background(), "k", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestTCPContextDeadline(t *testing.T) {
+	cl, _ := newTCPPair(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := cl.Put(ctx, "k", []byte("v")); err == nil {
+		t.Fatal("cancelled context should fail")
+	}
+}
+
+func TestTCPClientRecoversFromBrokenConn(t *testing.T) {
+	backend := NewMemStore(MemConfig{})
+	srv, err := NewServer("127.0.0.1:0", backend, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(srv.Addr(), ClientConfig{PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := ctxT(t)
+	if err := cl.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Restart the server on the same address to break pooled conns.
+	addr := srv.Addr()
+	srv.Close()
+	srv2, err := NewServer(addr, backend, ServerConfig{})
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	// First call may fail on the stale pooled conn; a retry must succeed
+	// with a fresh dial.
+	var lastErr error
+	ok := false
+	for i := 0; i < 3; i++ {
+		if _, lastErr = cl.Get(ctx, "k"); lastErr == nil {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Fatalf("client did not recover: %v", lastErr)
+	}
+}
+
+func TestProtocolRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		key := make([]byte, rng.Intn(100)+1)
+		rng.Read(key)
+		value := make([]byte, rng.Intn(10000))
+		rng.Read(value)
+		var buf bytes.Buffer
+		req := &request{op: opPut, key: string(key), value: value}
+		if err := writeRequest(&buf, req); err != nil {
+			return false
+		}
+		got, err := readRequest(&buf)
+		if err != nil {
+			return false
+		}
+		return got.op == req.op && got.key == req.key && bytes.Equal(got.value, req.value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtocolRejectsBadMagic(t *testing.T) {
+	buf := bytes.NewBuffer(make([]byte, 32))
+	if _, err := readRequest(buf); err == nil {
+		t.Fatal("bad magic should error")
+	}
+}
+
+func TestProtocolRejectsOversizedKey(t *testing.T) {
+	var buf bytes.Buffer
+	err := writeRequest(&buf, &request{op: opPut, key: string(make([]byte, maxKeyLen+1))})
+	if err == nil {
+		t.Fatal("oversized key should error")
+	}
+}
+
+func BenchmarkTCPPut64KB(b *testing.B) {
+	backend := NewMemStore(MemConfig{})
+	srv, err := NewServer("127.0.0.1:0", backend, ServerConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(srv.Addr(), ClientConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	value := make([]byte, 64<<10)
+	ctx := context.Background()
+	b.SetBytes(int64(len(value)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Put(ctx, fmt.Sprintf("k%d", i&15), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemStorePut64KB(b *testing.B) {
+	s := NewMemStore(MemConfig{})
+	value := make([]byte, 64<<10)
+	ctx := context.Background()
+	b.SetBytes(int64(len(value)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(ctx, fmt.Sprintf("k%d", i&15), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

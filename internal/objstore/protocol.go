@@ -1,0 +1,148 @@
+package objstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire protocol (all integers little-endian):
+//
+//	Request:  u32 magic | u8 op | u16 keyLen | key | u32 valueLen | value
+//	Response: u8 status | u32 payloadLen | payload
+//
+// For GET the response payload is the value; for LIST it is keys joined
+// with '\n'; for STAT it is the size as 8 bytes; for errors it is the
+// error message. valueLen is zero for ops without a body.
+const (
+	protoMagic = 0x434E5231 // "CNR1"
+
+	opPut    = 1
+	opGet    = 2
+	opDelete = 3
+	opList   = 4
+	opStat   = 5
+
+	statusOK       = 0
+	statusNotFound = 1
+	statusError    = 2
+)
+
+// maxValueLen bounds a single object to guard against corrupt frames
+// allocating unbounded memory. Checkpoint chunks are far smaller.
+const maxValueLen = 1 << 30 // 1 GiB
+
+// maxKeyLen bounds object key length.
+const maxKeyLen = 1 << 12
+
+type request struct {
+	op    uint8
+	key   string
+	value []byte
+}
+
+// writeRequest frames and writes a request.
+func writeRequest(w io.Writer, req *request) error {
+	if len(req.key) > maxKeyLen {
+		return fmt.Errorf("objstore: key too long: %d bytes", len(req.key))
+	}
+	if len(req.value) > maxValueLen {
+		return fmt.Errorf("objstore: value too long: %d bytes", len(req.value))
+	}
+	hdr := make([]byte, 4+1+2)
+	binary.LittleEndian.PutUint32(hdr, protoMagic)
+	hdr[4] = req.op
+	binary.LittleEndian.PutUint16(hdr[5:], uint16(len(req.key)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, req.key); err != nil {
+		return err
+	}
+	var vl [4]byte
+	binary.LittleEndian.PutUint32(vl[:], uint32(len(req.value)))
+	if _, err := w.Write(vl[:]); err != nil {
+		return err
+	}
+	if len(req.value) > 0 {
+		if _, err := w.Write(req.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readRequest reads one framed request.
+func readRequest(r io.Reader) (*request, error) {
+	hdr := make([]byte, 4+1+2)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	if m := binary.LittleEndian.Uint32(hdr); m != protoMagic {
+		return nil, fmt.Errorf("objstore: bad magic 0x%08x", m)
+	}
+	req := &request{op: hdr[4]}
+	keyLen := int(binary.LittleEndian.Uint16(hdr[5:]))
+	if keyLen > maxKeyLen {
+		return nil, fmt.Errorf("objstore: key length %d exceeds limit", keyLen)
+	}
+	key := make([]byte, keyLen)
+	if _, err := io.ReadFull(r, key); err != nil {
+		return nil, err
+	}
+	req.key = string(key)
+	var vl [4]byte
+	if _, err := io.ReadFull(r, vl[:]); err != nil {
+		return nil, err
+	}
+	valueLen := binary.LittleEndian.Uint32(vl[:])
+	if valueLen > maxValueLen {
+		return nil, fmt.Errorf("objstore: value length %d exceeds limit", valueLen)
+	}
+	if valueLen > 0 {
+		req.value = make([]byte, valueLen)
+		if _, err := io.ReadFull(r, req.value); err != nil {
+			return nil, err
+		}
+	}
+	return req, nil
+}
+
+// writeResponse frames and writes a response.
+func writeResponse(w io.Writer, status uint8, payload []byte) error {
+	if len(payload) > maxValueLen {
+		return fmt.Errorf("objstore: response too long: %d bytes", len(payload))
+	}
+	hdr := make([]byte, 5)
+	hdr[0] = status
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readResponse reads one framed response.
+func readResponse(r io.Reader) (status uint8, payload []byte, err error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	status = hdr[0]
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxValueLen {
+		return 0, nil, fmt.Errorf("objstore: response length %d exceeds limit", n)
+	}
+	if n > 0 {
+		payload = make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, nil, err
+		}
+	}
+	return status, payload, nil
+}

@@ -1,0 +1,185 @@
+package objstore
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Server serves a Store over TCP. One goroutine per connection handles
+// framed requests sequentially; the checkpoint writer opens multiple
+// connections to pipeline chunk uploads.
+type Server struct {
+	backend Store
+	ln      net.Listener
+	logf    func(format string, args ...any)
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServerConfig configures Serve.
+type ServerConfig struct {
+	// Logf receives diagnostic messages; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// NewServer starts serving backend on the given listener address
+// (e.g. "127.0.0.1:0"). It returns once the listener is bound.
+func NewServer(addr string, backend Store, cfg ServerConfig) (*Server, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("objstore: nil backend")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("objstore: listen: %w", err)
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Server{backend: backend, ln: ln, logf: logf, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listener address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if !s.isClosed() {
+				s.logf("objstore server: accept: %v", err)
+			}
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		req, err := readRequest(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !s.isClosed() {
+				s.logf("objstore server: read: %v", err)
+			}
+			return
+		}
+		if err := s.handle(bw, req); err != nil {
+			s.logf("objstore server: write: %v", err)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(w io.Writer, req *request) error {
+	ctx := context.Background()
+	switch req.op {
+	case opPut:
+		if err := s.backend.Put(ctx, req.key, req.value); err != nil {
+			return writeResponse(w, statusError, []byte(err.Error()))
+		}
+		return writeResponse(w, statusOK, nil)
+	case opGet:
+		v, err := s.backend.Get(ctx, req.key)
+		if errors.Is(err, ErrNotFound) {
+			return writeResponse(w, statusNotFound, nil)
+		}
+		if err != nil {
+			return writeResponse(w, statusError, []byte(err.Error()))
+		}
+		return writeResponse(w, statusOK, v)
+	case opDelete:
+		err := s.backend.Delete(ctx, req.key)
+		if errors.Is(err, ErrNotFound) {
+			return writeResponse(w, statusNotFound, nil)
+		}
+		if err != nil {
+			return writeResponse(w, statusError, []byte(err.Error()))
+		}
+		return writeResponse(w, statusOK, nil)
+	case opList:
+		keys, err := s.backend.List(ctx, req.key)
+		if err != nil {
+			return writeResponse(w, statusError, []byte(err.Error()))
+		}
+		return writeResponse(w, statusOK, []byte(strings.Join(keys, "\n")))
+	case opStat:
+		size, err := s.backend.Stat(ctx, req.key)
+		if errors.Is(err, ErrNotFound) {
+			return writeResponse(w, statusNotFound, nil)
+		}
+		if err != nil {
+			return writeResponse(w, statusError, []byte(err.Error()))
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(size))
+		return writeResponse(w, statusOK, buf[:])
+	default:
+		return writeResponse(w, statusError, []byte(fmt.Sprintf("unknown op %d", req.op)))
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close stops accepting, closes live connections, and waits for handler
+// goroutines to exit. The backend is not closed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Logger returns a *log.Logger-compatible adapter. Handy for cmd/objstored.
+func Logger(l *log.Logger) func(string, ...any) {
+	return func(format string, args ...any) { l.Printf(format, args...) }
+}

@@ -1,0 +1,77 @@
+package objstore
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Throttle is a token-bucket bandwidth limiter over an abstract clock.
+// With a simulation clock, waiting advances virtual time instead of
+// blocking, which lets experiments measure "how long would this checkpoint
+// take to upload at X GB/s" deterministically.
+type Throttle struct {
+	rate  float64 // bytes per second
+	clock simclock.Clock
+
+	mu sync.Mutex
+	// nextFree is the earliest time the link is free; consuming n bytes
+	// pushes it n/rate seconds further out.
+	nextFree time.Time
+}
+
+// NewThrottle returns a throttle shaping to rate bytes/second on clock.
+func NewThrottle(rate float64, clock simclock.Clock) *Throttle {
+	if rate <= 0 {
+		panic(fmt.Sprintf("objstore: throttle rate must be positive, got %v", rate))
+	}
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &Throttle{rate: rate, clock: clock, nextFree: clock.Now()}
+}
+
+// Wait blocks (or advances virtual time) until n bytes may be sent, then
+// reserves the link for their transmission time.
+func (t *Throttle) Wait(ctx context.Context, n int64) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	t.mu.Lock()
+	now := t.clock.Now()
+	if t.nextFree.Before(now) {
+		t.nextFree = now
+	}
+	wait := t.nextFree.Sub(now)
+	t.nextFree = t.nextFree.Add(time.Duration(float64(n) / t.rate * float64(time.Second)))
+	t.mu.Unlock()
+
+	if wait <= 0 {
+		return ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t.clock.Sleep(wait)
+	return ctx.Err()
+}
+
+// Backlog returns how far in the future the link frees up — a measure of
+// queued transmission time.
+func (t *Throttle) Backlog() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := t.nextFree.Sub(t.clock.Now())
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// TransferTime returns how long n bytes take at the throttle's rate.
+func (t *Throttle) TransferTime(n int64) time.Duration {
+	return time.Duration(float64(n) / t.rate * float64(time.Second))
+}

@@ -1,0 +1,92 @@
+package quant
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire format for a QVector (little-endian):
+//
+//	u8   bits (32 means raw fp32 / MethodNone)
+//	u8   flags (bit 0: codebook present)
+//	u32  n (element count)
+//	f32  lo, f32 hi            (uniform methods; zero when codebook)
+//	u16  codebook length + f32 centroids (only when flag set)
+//	[]   packed codes, packedLen(n, bits) bytes
+const flagCodebook = 1 << 0
+
+// MarshalBinary serializes q. It implements encoding.BinaryMarshaler.
+func (q *QVector) MarshalBinary() ([]byte, error) {
+	if q.N < 0 {
+		return nil, fmt.Errorf("quant: negative N")
+	}
+	size := 1 + 1 + 4 + 8 + len(q.Codes)
+	if q.Codebook != nil {
+		size += 2 + 4*len(q.Codebook)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, byte(q.Bits))
+	var flags byte
+	if q.Codebook != nil {
+		flags |= flagCodebook
+	}
+	out = append(out, flags)
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(q.N))
+	out = append(out, b4[:]...)
+	binary.LittleEndian.PutUint32(b4[:], math.Float32bits(q.Lo))
+	out = append(out, b4[:]...)
+	binary.LittleEndian.PutUint32(b4[:], math.Float32bits(q.Hi))
+	out = append(out, b4[:]...)
+	if q.Codebook != nil {
+		var b2 [2]byte
+		binary.LittleEndian.PutUint16(b2[:], uint16(len(q.Codebook)))
+		out = append(out, b2[:]...)
+		for _, c := range q.Codebook {
+			binary.LittleEndian.PutUint32(b4[:], math.Float32bits(c))
+			out = append(out, b4[:]...)
+		}
+	}
+	out = append(out, q.Codes...)
+	return out, nil
+}
+
+// UnmarshalBinary restores q from MarshalBinary output. It implements
+// encoding.BinaryUnmarshaler.
+func (q *QVector) UnmarshalBinary(data []byte) error {
+	if len(data) < 14 {
+		return fmt.Errorf("quant: short QVector payload: %d bytes", len(data))
+	}
+	q.Bits = int(data[0])
+	flags := data[1]
+	q.N = int(binary.LittleEndian.Uint32(data[2:]))
+	q.Lo = math.Float32frombits(binary.LittleEndian.Uint32(data[6:]))
+	q.Hi = math.Float32frombits(binary.LittleEndian.Uint32(data[10:]))
+	data = data[14:]
+	q.Codebook = nil
+	if flags&flagCodebook != 0 {
+		if len(data) < 2 {
+			return fmt.Errorf("quant: missing codebook length")
+		}
+		cl := int(binary.LittleEndian.Uint16(data))
+		data = data[2:]
+		if len(data) < 4*cl {
+			return fmt.Errorf("quant: truncated codebook: want %d entries", cl)
+		}
+		q.Codebook = make([]float32, cl)
+		for i := range q.Codebook {
+			q.Codebook[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[i*4:]))
+		}
+		data = data[4*cl:]
+	}
+	if q.Bits < 1 || (q.Bits > 8 && q.Bits != 32) {
+		return fmt.Errorf("quant: invalid bits %d", q.Bits)
+	}
+	want := packedLen(q.N, q.Bits)
+	if len(data) != want {
+		return fmt.Errorf("quant: codes length %d, want %d", len(data), want)
+	}
+	q.Codes = append([]byte(nil), data...)
+	return nil
+}

@@ -1,0 +1,119 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// L2Error returns ||x - Dequantize(Quantize(x))||_2 for one vector.
+func L2Error(x []float32, p Params) (float64, error) {
+	q, err := Quantize(x, p)
+	if err != nil {
+		return 0, err
+	}
+	rec := Dequantize(q)
+	var sum float64
+	for i, v := range x {
+		d := float64(v) - float64(rec[i])
+		sum += d * d
+	}
+	return math.Sqrt(sum), nil
+}
+
+// MeanL2Error computes the paper's checkpoint quality metric:
+// (1/m) Σ ||X_i - Q_i||_2 over m embedding vectors.
+func MeanL2Error(vectors [][]float32, p Params) (float64, error) {
+	if len(vectors) == 0 {
+		return 0, fmt.Errorf("quant: no vectors")
+	}
+	var sum float64
+	for _, x := range vectors {
+		e, err := L2Error(x, p)
+		if err != nil {
+			return 0, err
+		}
+		sum += e
+	}
+	return sum / float64(len(vectors)), nil
+}
+
+// SampleVectors uniformly samples a fraction of the vectors (at least
+// minimum) for the light-weight checkpoint profiling of §5.2: the paper
+// estimates mean ℓ2 error on a 0.001% sample and reports that the sampled
+// estimate selects the same parameters as the full checkpoint.
+func SampleVectors(vectors [][]float32, fraction float64, minimum int, seed int64) [][]float32 {
+	if fraction <= 0 {
+		fraction = 0.00001
+	}
+	n := int(float64(len(vectors)) * fraction)
+	if n < minimum {
+		n = minimum
+	}
+	if n >= len(vectors) {
+		return vectors
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float32, n)
+	// Partial Fisher-Yates over index space.
+	idx := make([]int, len(vectors))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out[i] = vectors[idx[i]]
+	}
+	return out
+}
+
+// SelectAdaptiveParams implements the automatic parameter selection of
+// §5.2: it profiles a sample of the checkpoint across candidate NumBins
+// values (at the given ratio) and picks the first candidate at which the
+// marginal mean-ℓ2 improvement tapers off (drops below taperEps,
+// expressed as a relative improvement over the previous candidate).
+func SelectAdaptiveParams(vectors [][]float32, bits int, binCandidates []int, ratio float64, taperEps float64, seed int64) (Params, error) {
+	if len(binCandidates) == 0 {
+		return Params{}, fmt.Errorf("quant: no bin candidates")
+	}
+	sample := SampleVectors(vectors, 0.00001, 32, seed)
+	best := Params{Method: MethodAdaptive, Bits: bits, NumBins: binCandidates[0], Ratio: ratio}
+	prevErr := math.Inf(1)
+	for i, bins := range binCandidates {
+		p := Params{Method: MethodAdaptive, Bits: bits, NumBins: bins, Ratio: ratio}
+		e, err := MeanL2Error(sample, p)
+		if err != nil {
+			return Params{}, err
+		}
+		if i == 0 {
+			best, prevErr = p, e
+			continue
+		}
+		improvement := (prevErr - e) / prevErr
+		if improvement < taperEps {
+			// Improvement tapered off; keep the previous choice.
+			return best, nil
+		}
+		best, prevErr = p, e
+	}
+	return best, nil
+}
+
+// ImprovementOverNaive returns the relative mean-ℓ2 improvement of the
+// adaptive method over naive asymmetric at the same bit width — the metric
+// of Figures 10 and 11.
+func ImprovementOverNaive(vectors [][]float32, bits, numBins int, ratio float64) (float64, error) {
+	naive, err := MeanL2Error(vectors, Params{Method: MethodAsymmetric, Bits: bits})
+	if err != nil {
+		return 0, err
+	}
+	adaptive, err := MeanL2Error(vectors, Params{Method: MethodAdaptive, Bits: bits, NumBins: numBins, Ratio: ratio})
+	if err != nil {
+		return 0, err
+	}
+	if naive == 0 {
+		return 0, nil
+	}
+	return (naive - adaptive) / naive, nil
+}

@@ -1,0 +1,340 @@
+// Package quant implements Check-N-Run's checkpoint quantization (§5.2):
+// per-embedding-vector uniform quantization (symmetric and asymmetric),
+// non-uniform k-means quantization, and the adaptive asymmetric greedy
+// search that the production system uses for bit-widths of 4 and below.
+//
+// Quantization applies only to checkpoints — training always runs in fp32 —
+// so the quality metric is the mean ℓ2 error between original and
+// de-quantized vectors, which the paper uses as a first-order proxy for
+// the accuracy loss incurred when a job restores from the checkpoint.
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Method identifies a quantization approach from §5.2.
+type Method uint8
+
+const (
+	// MethodNone stores fp32 verbatim (the no-quantization baseline).
+	MethodNone Method = iota
+	// MethodSymmetric is uniform quantization with xmax = max|x|, xmin = -xmax.
+	MethodSymmetric
+	// MethodAsymmetric is uniform quantization with the vector's actual
+	// min and max as the range ("naive asymmetric").
+	MethodAsymmetric
+	// MethodKMeans is non-uniform quantization via k-means clustering of
+	// the vector's elements into 2^bits centroids.
+	MethodKMeans
+	// MethodAdaptive is adaptive asymmetric quantization: a greedy search
+	// shrinks [xmin, xmax] to minimize ℓ2 error before uniform quantizing.
+	MethodAdaptive
+)
+
+// String returns the method name used in figures and logs.
+func (m Method) String() string {
+	switch m {
+	case MethodNone:
+		return "none"
+	case MethodSymmetric:
+		return "symmetric"
+	case MethodAsymmetric:
+		return "asymmetric"
+	case MethodKMeans:
+		return "k-means"
+	case MethodAdaptive:
+		return "adaptive-asymmetric"
+	default:
+		return fmt.Sprintf("method(%d)", uint8(m))
+	}
+}
+
+// Params configures a quantizer.
+type Params struct {
+	Method Method
+	// Bits is the code width; the paper evaluates 2, 3, 4 and 8.
+	Bits int
+	// NumBins is the adaptive greedy search's step granularity
+	// (step_size = range / NumBins). Paper sweeps 5..50; optimum 25 for
+	// 2-3 bits, 45 for 4 bits (Figure 10).
+	NumBins int
+	// Ratio bounds how much of the original range the greedy search may
+	// remove: it iterates while the removed span < Ratio*range. 1.0
+	// searches the full range (Figure 11).
+	Ratio float64
+	// KMeansIters is the Lloyd iteration count (paper uses 15).
+	KMeansIters int
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	switch p.Method {
+	case MethodNone:
+		return nil
+	case MethodSymmetric, MethodAsymmetric, MethodKMeans, MethodAdaptive:
+	default:
+		return fmt.Errorf("quant: unknown method %d", p.Method)
+	}
+	if p.Bits < 1 || p.Bits > 8 {
+		return fmt.Errorf("quant: bits must be in [1,8], got %d", p.Bits)
+	}
+	if p.Method == MethodAdaptive {
+		if p.NumBins < 1 {
+			return fmt.Errorf("quant: adaptive needs NumBins >= 1, got %d", p.NumBins)
+		}
+		if p.Ratio <= 0 || p.Ratio > 1 {
+			return fmt.Errorf("quant: adaptive Ratio must be in (0,1], got %v", p.Ratio)
+		}
+	}
+	if p.Method == MethodKMeans && p.KMeansIters < 1 {
+		return fmt.Errorf("quant: k-means needs iters >= 1, got %d", p.KMeansIters)
+	}
+	return nil
+}
+
+// QVector is one quantized embedding vector: packed integer codes plus the
+// de-quantization parameters. For uniform methods Lo/Hi are the clip range
+// (zero_point = Lo, scale derived); for k-means, Codebook holds the
+// centroids and Lo/Hi are unused.
+type QVector struct {
+	Bits     int
+	N        int // original element count
+	Lo, Hi   float32
+	Codes    []byte    // bit-packed, ceil(N*Bits/8) bytes
+	Codebook []float32 // k-means only, len 2^Bits
+}
+
+// StorageBytes returns the serialized footprint: packed codes plus
+// per-vector metadata (range parameters or codebook). This is what the
+// capacity/bandwidth accounting charges per row.
+func (q *QVector) StorageBytes() int {
+	meta := 8 // Lo+Hi as fp32
+	if q.Codebook != nil {
+		meta = 4 * len(q.Codebook)
+	}
+	return len(q.Codes) + meta
+}
+
+// Quantize quantizes one embedding vector with the given parameters.
+// MethodNone returns a QVector that round-trips exactly (codes hold raw
+// fp32); callers normally special-case it before reaching here.
+func Quantize(x []float32, p Params) (*QVector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("quant: empty vector")
+	}
+	switch p.Method {
+	case MethodNone:
+		return quantizeNone(x), nil
+	case MethodSymmetric:
+		lo, hi := symmetricRange(x)
+		return quantizeUniform(x, p.Bits, lo, hi), nil
+	case MethodAsymmetric:
+		lo, hi := minMax(x)
+		return quantizeUniform(x, p.Bits, lo, hi), nil
+	case MethodAdaptive:
+		lo, hi := adaptiveRange(x, p.Bits, p.NumBins, p.Ratio)
+		return quantizeUniform(x, p.Bits, lo, hi), nil
+	case MethodKMeans:
+		return quantizeKMeans(x, p.Bits, p.KMeansIters), nil
+	}
+	panic("unreachable")
+}
+
+// Dequantize reconstructs the fp32 vector from q.
+func Dequantize(q *QVector) []float32 {
+	out := make([]float32, q.N)
+	if q.Bits == 32 { // MethodNone raw storage
+		for i := range out {
+			out[i] = math.Float32frombits(readBitsAt(q.Codes, i, 32))
+		}
+		return out
+	}
+	if q.Codebook != nil {
+		for i := range out {
+			out[i] = q.Codebook[readBitsAt(q.Codes, i, q.Bits)]
+		}
+		return out
+	}
+	scale, zero := scaleZero(q.Lo, q.Hi, q.Bits)
+	for i := range out {
+		code := readBitsAt(q.Codes, i, q.Bits)
+		out[i] = scale*float32(code) + zero
+	}
+	return out
+}
+
+// quantizeNone stores raw fp32 bits so the round trip is exact.
+func quantizeNone(x []float32) *QVector {
+	q := &QVector{Bits: 32, N: len(x), Codes: make([]byte, len(x)*4)}
+	for i, v := range x {
+		writeBitsAt(q.Codes, i, 32, math.Float32bits(v))
+	}
+	return q
+}
+
+// symmetricRange returns [-m, m] where m = max|x|.
+func symmetricRange(x []float32) (lo, hi float32) {
+	var m float32
+	for _, v := range x {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return -m, m
+}
+
+// minMax returns the actual element range.
+func minMax(x []float32) (lo, hi float32) {
+	lo, hi = x[0], x[0]
+	for _, v := range x[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// scaleZero computes the uniform quantization parameters of §5.2:
+// scale = (xmax-xmin)/(2^N - 1), zero_point = xmin.
+func scaleZero(lo, hi float32, bits int) (scale, zero float32) {
+	levels := float32(int(1)<<uint(bits) - 1)
+	if levels <= 0 {
+		return 0, lo
+	}
+	return (hi - lo) / levels, lo
+}
+
+// quantizeUniform maps x into [0, 2^bits-1] codes over [lo, hi], clipping
+// out-of-range elements (which is what makes the adaptive range-shrinking
+// search meaningful).
+func quantizeUniform(x []float32, bits int, lo, hi float32) *QVector {
+	q := &QVector{
+		Bits:  bits,
+		N:     len(x),
+		Lo:    lo,
+		Hi:    hi,
+		Codes: make([]byte, packedLen(len(x), bits)),
+	}
+	scale, zero := scaleZero(lo, hi, bits)
+	maxCode := uint32(1)<<uint(bits) - 1
+	for i, v := range x {
+		var code uint32
+		if scale > 0 {
+			c := float64(v-zero) / float64(scale)
+			r := int64(math.Round(c))
+			if r < 0 {
+				r = 0
+			}
+			if r > int64(maxCode) {
+				r = int64(maxCode)
+			}
+			code = uint32(r)
+		}
+		writeBitsAt(q.Codes, i, bits, code)
+	}
+	return q
+}
+
+// uniformL2 computes the squared reconstruction error of uniform
+// quantization over [lo, hi] without materializing codes — the inner loop
+// of the adaptive greedy search.
+func uniformL2(x []float32, bits int, lo, hi float32) float64 {
+	scale, zero := scaleZero(lo, hi, bits)
+	maxCode := float64(int(1)<<uint(bits) - 1)
+	var sum float64
+	for _, v := range x {
+		var rec float64
+		if scale > 0 {
+			c := math.Round(float64(v-zero) / float64(scale))
+			if c < 0 {
+				c = 0
+			}
+			if c > maxCode {
+				c = maxCode
+			}
+			rec = float64(scale)*c + float64(zero)
+		} else {
+			rec = float64(zero)
+		}
+		d := float64(v) - rec
+		sum += d * d
+	}
+	return sum
+}
+
+// adaptiveRange runs the paper's greedy search (§5.2 Approach 3): with
+// step_size = range/numBins, each iteration tries shrinking either the
+// bottom or the top of the range by one step, keeps whichever yields lower
+// ℓ2 error, and stops once ratio*range has been removed. It returns the
+// best range seen across all iterations.
+func adaptiveRange(x []float32, bits, numBins int, ratio float64) (lo, hi float32) {
+	origLo, origHi := minMax(x)
+	rangeF := float64(origHi - origLo)
+	if rangeF <= 0 || numBins < 1 {
+		return origLo, origHi
+	}
+	step := float32(rangeF / float64(numBins))
+	bestLo, bestHi := origLo, origHi
+	bestErr := uniformL2(x, bits, origLo, origHi)
+	curLo, curHi := origLo, origHi
+	// Iterate while the removed span stays under ratio*range.
+	for float64(origHi-origLo)-float64(curHi-curLo) < ratio*rangeF-1e-12 {
+		upErr := uniformL2(x, bits, curLo+step, curHi)
+		dnErr := uniformL2(x, bits, curLo, curHi-step)
+		if upErr <= dnErr {
+			curLo += step
+			if upErr < bestErr {
+				bestErr, bestLo, bestHi = upErr, curLo, curHi
+			}
+		} else {
+			curHi -= step
+			if dnErr < bestErr {
+				bestErr, bestLo, bestHi = dnErr, curLo, curHi
+			}
+		}
+		if curHi-curLo <= step {
+			break
+		}
+	}
+	return bestLo, bestHi
+}
+
+// packedLen returns the byte length of n codes of the given bit width.
+func packedLen(n, bits int) int {
+	return (n*bits + 7) / 8
+}
+
+// writeBitsAt writes an unsigned value of the given width at logical index
+// i into the packed buffer.
+func writeBitsAt(buf []byte, i, bits int, v uint32) {
+	bitPos := i * bits
+	for b := 0; b < bits; b++ {
+		if v&(1<<uint(b)) != 0 {
+			buf[(bitPos+b)/8] |= 1 << uint((bitPos+b)%8)
+		}
+	}
+}
+
+// readBitsAt reads the value written by writeBitsAt.
+func readBitsAt(buf []byte, i, bits int) uint32 {
+	bitPos := i * bits
+	var v uint32
+	for b := 0; b < bits; b++ {
+		if buf[(bitPos+b)/8]&(1<<uint((bitPos+b)%8)) != 0 {
+			v |= 1 << uint(b)
+		}
+	}
+	return v
+}

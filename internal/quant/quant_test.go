@@ -1,0 +1,471 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// trainedLikeVector produces an embedding-like vector: mostly small values
+// around zero with occasional larger outliers, the distribution that makes
+// adaptive asymmetric quantization pay off.
+func trainedLikeVector(rng *rand.Rand, n int) []float32 {
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64() * 0.05)
+		if rng.Float64() < 0.03 {
+			x[i] = float32(rng.NormFloat64() * 0.5) // outlier
+		}
+	}
+	return x
+}
+
+func testVectors(n, dim int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float32, n)
+	for i := range out {
+		out[i] = trainedLikeVector(rng, dim)
+	}
+	return out
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{Method: Method(99), Bits: 4},
+		{Method: MethodAsymmetric, Bits: 0},
+		{Method: MethodAsymmetric, Bits: 9},
+		{Method: MethodAdaptive, Bits: 4, NumBins: 0, Ratio: 1},
+		{Method: MethodAdaptive, Bits: 4, NumBins: 10, Ratio: 0},
+		{Method: MethodAdaptive, Bits: 4, NumBins: 10, Ratio: 1.5},
+		{Method: MethodKMeans, Bits: 4, KMeansIters: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d (%+v): want error", i, p)
+		}
+	}
+	good := []Params{
+		{Method: MethodNone},
+		{Method: MethodSymmetric, Bits: 2},
+		{Method: MethodAsymmetric, Bits: 8},
+		{Method: MethodAdaptive, Bits: 4, NumBins: 25, Ratio: 1},
+		{Method: MethodKMeans, Bits: 3, KMeansIters: 15},
+	}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("case %d (%+v): unexpected error %v", i, p, err)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	for _, m := range []Method{MethodNone, MethodSymmetric, MethodAsymmetric, MethodKMeans, MethodAdaptive, Method(42)} {
+		if m.String() == "" {
+			t.Fatalf("empty name for %d", m)
+		}
+	}
+}
+
+func TestQuantizeEmptyVector(t *testing.T) {
+	if _, err := Quantize(nil, Params{Method: MethodAsymmetric, Bits: 4}); err == nil {
+		t.Fatal("empty vector should error")
+	}
+}
+
+func TestNoneRoundTripExact(t *testing.T) {
+	x := trainedLikeVector(rand.New(rand.NewSource(1)), 64)
+	q, err := Quantize(x, Params{Method: MethodNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Dequantize(q)
+	for i := range x {
+		if rec[i] != x[i] {
+			t.Fatalf("element %d: %v != %v", i, rec[i], x[i])
+		}
+	}
+}
+
+func TestUniformQuantBounds(t *testing.T) {
+	// Reconstruction error per element is at most scale/2 for in-range
+	// values under asymmetric quantization.
+	x := trainedLikeVector(rand.New(rand.NewSource(2)), 64)
+	for _, bits := range []int{2, 3, 4, 8} {
+		q, err := Quantize(x, Params{Method: MethodAsymmetric, Bits: bits})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := Dequantize(q)
+		scale := (float64(q.Hi) - float64(q.Lo)) / float64(int(1)<<uint(bits)-1)
+		for i := range x {
+			if d := math.Abs(float64(x[i]) - float64(rec[i])); d > scale/2+1e-6 {
+				t.Fatalf("bits=%d element %d err %v > scale/2 %v", bits, i, d, scale/2)
+			}
+		}
+	}
+}
+
+func TestConstantVector(t *testing.T) {
+	x := make([]float32, 16)
+	for i := range x {
+		x[i] = 3.5
+	}
+	for _, m := range []Method{MethodSymmetric, MethodAsymmetric} {
+		q, err := Quantize(x, Params{Method: m, Bits: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := Dequantize(q)
+		for i := range rec {
+			if math.Abs(float64(rec[i]-3.5)) > 1e-6 && m == MethodAsymmetric {
+				t.Fatalf("%v: constant vector rec[%d] = %v", m, i, rec[i])
+			}
+		}
+	}
+}
+
+func TestAsymmetricBeatsSymmetric(t *testing.T) {
+	// Figure 9: embedding elements are not symmetrically distributed, so
+	// asymmetric consistently wins. Build skewed vectors.
+	rng := rand.New(rand.NewSource(3))
+	vectors := make([][]float32, 200)
+	for i := range vectors {
+		v := make([]float32, 64)
+		for j := range v {
+			v[j] = float32(rng.Float64()*0.2 + 0.1) // all positive: worst case for symmetric
+		}
+		vectors[i] = v
+	}
+	for _, bits := range []int{2, 3, 4, 8} {
+		sym, err := MeanL2Error(vectors, Params{Method: MethodSymmetric, Bits: bits})
+		if err != nil {
+			t.Fatal(err)
+		}
+		asym, err := MeanL2Error(vectors, Params{Method: MethodAsymmetric, Bits: bits})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if asym >= sym {
+			t.Fatalf("bits=%d: asymmetric %v should beat symmetric %v", bits, asym, sym)
+		}
+	}
+}
+
+func TestAdaptiveBeatsNaiveOnOutliers(t *testing.T) {
+	// §5.2 Approach 3's motivation: an outlier inflates the naive range.
+	vectors := testVectors(100, 64, 4)
+	for _, bits := range []int{2, 3, 4} {
+		imp, err := ImprovementOverNaive(vectors, bits, 25, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if imp <= 0 {
+			t.Fatalf("bits=%d: adaptive should improve over naive, got %v", bits, imp)
+		}
+	}
+}
+
+func TestAdaptiveImprovementLargerAtLowerBits(t *testing.T) {
+	// Figure 11: lower bit-widths gain more from the adaptive range.
+	vectors := testVectors(100, 64, 5)
+	imp2, err := ImprovementOverNaive(vectors, 2, 25, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp8, err := ImprovementOverNaive(vectors, 8, 25, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp2 <= imp8 {
+		t.Fatalf("2-bit improvement %v should exceed 8-bit %v", imp2, imp8)
+	}
+}
+
+func TestAdaptiveNeverWorseThanNaive(t *testing.T) {
+	// The greedy search keeps the best range seen, which includes the
+	// original range, so adaptive <= naive always.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := trainedLikeVector(rng, 32)
+		naive, err := L2Error(x, Params{Method: MethodAsymmetric, Bits: 4})
+		if err != nil {
+			return false
+		}
+		adaptive, err := L2Error(x, Params{Method: MethodAdaptive, Bits: 4, NumBins: 20, Ratio: 1})
+		if err != nil {
+			return false
+		}
+		return adaptive <= naive+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreBitsLowerError(t *testing.T) {
+	vectors := testVectors(50, 64, 6)
+	var prev float64 = math.Inf(1)
+	for _, bits := range []int{2, 3, 4, 8} {
+		e, err := MeanL2Error(vectors, Params{Method: MethodAsymmetric, Bits: bits})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e >= prev {
+			t.Fatalf("bits=%d error %v did not decrease from %v", bits, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestKMeansCompetitiveWithAdaptive(t *testing.T) {
+	// Figure 9: k-means is at or below asymmetric error (modulo init
+	// randomness at 4 bits). Check it beats naive asymmetric on average.
+	vectors := testVectors(60, 64, 7)
+	for _, bits := range []int{3, 4} {
+		km, err := MeanL2Error(vectors, Params{Method: MethodKMeans, Bits: bits, KMeansIters: 15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		asym, err := MeanL2Error(vectors, Params{Method: MethodAsymmetric, Bits: bits})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if km >= asym {
+			t.Fatalf("bits=%d: k-means %v should beat naive asymmetric %v", bits, km, asym)
+		}
+	}
+}
+
+func TestKMeansConstantVector(t *testing.T) {
+	x := make([]float32, 16)
+	for i := range x {
+		x[i] = -2
+	}
+	q, err := Quantize(x, Params{Method: MethodKMeans, Bits: 2, KMeansIters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Dequantize(q)
+	for i := range rec {
+		if rec[i] != -2 {
+			t.Fatalf("rec[%d] = %v, want -2", i, rec[i])
+		}
+	}
+}
+
+func TestKMeansFewerElementsThanClusters(t *testing.T) {
+	x := []float32{1, 2}
+	q, err := Quantize(x, Params{Method: MethodKMeans, Bits: 4, KMeansIters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Dequantize(q)
+	if math.Abs(float64(rec[0]-1)) > 1e-5 || math.Abs(float64(rec[1]-2)) > 1e-5 {
+		t.Fatalf("rec = %v, want [1 2]", rec)
+	}
+}
+
+func TestPackedCodesCompression(t *testing.T) {
+	// 4-bit codes on dim-64 vectors: 32 bytes codes + 8 bytes metadata =
+	// 40 bytes vs 256 fp32 bytes -> 6.4x. Verify StorageBytes accounting.
+	x := trainedLikeVector(rand.New(rand.NewSource(8)), 64)
+	q, err := Quantize(x, Params{Method: MethodAsymmetric, Bits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.StorageBytes(); got != 32+8 {
+		t.Fatalf("StorageBytes = %d, want 40", got)
+	}
+	q2, err := Quantize(x, Params{Method: MethodKMeans, Bits: 2, KMeansIters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q2.StorageBytes(); got != 16+16 {
+		t.Fatalf("kmeans StorageBytes = %d, want 32", got)
+	}
+}
+
+func TestBitPackRoundTrip(t *testing.T) {
+	f := func(seed int64, bitsRaw uint8) bool {
+		bits := int(bitsRaw)%8 + 1
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100) + 1
+		buf := make([]byte, packedLen(n, bits))
+		vals := make([]uint32, n)
+		maxV := uint32(1)<<uint(bits) - 1
+		for i := range vals {
+			vals[i] = rng.Uint32() & maxV
+			writeBitsAt(buf, i, bits, vals[i])
+		}
+		for i := range vals {
+			if readBitsAt(buf, i, bits) != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQVectorMarshalRoundTrip(t *testing.T) {
+	x := trainedLikeVector(rand.New(rand.NewSource(9)), 48)
+	for _, p := range []Params{
+		{Method: MethodNone},
+		{Method: MethodSymmetric, Bits: 2},
+		{Method: MethodAsymmetric, Bits: 4},
+		{Method: MethodAdaptive, Bits: 3, NumBins: 10, Ratio: 0.8},
+		{Method: MethodKMeans, Bits: 4, KMeansIters: 5},
+	} {
+		q, err := Quantize(x, p)
+		if err != nil {
+			t.Fatalf("%v: %v", p.Method, err)
+		}
+		blob, err := q.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%v: marshal: %v", p.Method, err)
+		}
+		var q2 QVector
+		if err := q2.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("%v: unmarshal: %v", p.Method, err)
+		}
+		a, b := Dequantize(q), Dequantize(&q2)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: element %d differs after round trip", p.Method, i)
+			}
+		}
+	}
+}
+
+func TestQVectorUnmarshalErrors(t *testing.T) {
+	var q QVector
+	if err := q.UnmarshalBinary(nil); err == nil {
+		t.Fatal("nil should error")
+	}
+	if err := q.UnmarshalBinary(make([]byte, 5)); err == nil {
+		t.Fatal("short should error")
+	}
+	// Valid header but truncated codes.
+	x := []float32{1, 2, 3, 4}
+	good, _ := Quantize(x, Params{Method: MethodAsymmetric, Bits: 4})
+	blob, _ := good.MarshalBinary()
+	if err := q.UnmarshalBinary(blob[:len(blob)-1]); err == nil {
+		t.Fatal("truncated codes should error")
+	}
+	// Invalid bits value.
+	blob2 := append([]byte(nil), blob...)
+	blob2[0] = 13
+	if err := q.UnmarshalBinary(blob2); err == nil {
+		t.Fatal("invalid bits should error")
+	}
+}
+
+func TestSampleVectors(t *testing.T) {
+	vectors := testVectors(1000, 8, 10)
+	s := SampleVectors(vectors, 0.01, 5, 1)
+	if len(s) != 10 {
+		t.Fatalf("sample size = %d, want 10", len(s))
+	}
+	s2 := SampleVectors(vectors, 0, 32, 1)
+	if len(s2) != 32 {
+		t.Fatalf("minimum not honored: %d", len(s2))
+	}
+	s3 := SampleVectors(vectors, 2.0, 5, 1)
+	if len(s3) != len(vectors) {
+		t.Fatal("oversample should return all")
+	}
+	// Determinism.
+	a := SampleVectors(vectors, 0.01, 5, 42)
+	b := SampleVectors(vectors, 0.01, 5, 42)
+	for i := range a {
+		if &a[i][0] != &b[i][0] {
+			t.Fatal("same seed should sample same vectors")
+		}
+	}
+}
+
+func TestSelectAdaptiveParams(t *testing.T) {
+	vectors := testVectors(300, 64, 11)
+	p, err := SelectAdaptiveParams(vectors, 3, []int{5, 10, 25, 45}, 1.0, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Method != MethodAdaptive || p.Bits != 3 {
+		t.Fatalf("selected %+v", p)
+	}
+	found := false
+	for _, b := range []int{5, 10, 25, 45} {
+		if p.NumBins == b {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("NumBins %d not among candidates", p.NumBins)
+	}
+	if _, err := SelectAdaptiveParams(vectors, 3, nil, 1, 0.01, 1); err == nil {
+		t.Fatal("no candidates should error")
+	}
+}
+
+func TestMeanL2ErrorEmpty(t *testing.T) {
+	if _, err := MeanL2Error(nil, Params{Method: MethodAsymmetric, Bits: 4}); err == nil {
+		t.Fatal("empty vectors should error")
+	}
+}
+
+func TestQuickDequantWithinRange(t *testing.T) {
+	// All dequantized values lie within [Lo, Hi] for uniform methods.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := trainedLikeVector(rng, 16)
+		q, err := Quantize(x, Params{Method: MethodAsymmetric, Bits: 3})
+		if err != nil {
+			return false
+		}
+		for _, v := range Dequantize(q) {
+			if v < q.Lo-1e-5 || v > q.Hi+1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAsymmetric4Bit(b *testing.B) {
+	x := trainedLikeVector(rand.New(rand.NewSource(1)), 64)
+	p := Params{Method: MethodAsymmetric, Bits: 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Quantize(x, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdaptive4Bit25Bins(b *testing.B) {
+	x := trainedLikeVector(rand.New(rand.NewSource(1)), 64)
+	p := Params{Method: MethodAdaptive, Bits: 4, NumBins: 25, Ratio: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Quantize(x, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeans4Bit(b *testing.B) {
+	x := trainedLikeVector(rand.New(rand.NewSource(1)), 64)
+	p := Params{Method: MethodKMeans, Bits: 4, KMeansIters: 15}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Quantize(x, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

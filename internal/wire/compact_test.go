@@ -1,0 +1,212 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/quant"
+)
+
+func makeUniformChunk(t testing.TB, seed int64, rows, dim, bits int) *Chunk {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Chunk{TableID: 5}
+	var p quant.Params
+	if bits == 32 {
+		p = quant.Params{Method: quant.MethodNone}
+	} else {
+		p = quant.Params{Method: quant.MethodAsymmetric, Bits: bits}
+	}
+	for i := 0; i < rows; i++ {
+		x := make([]float32, dim)
+		for j := range x {
+			x[j] = rng.Float32()*2 - 1
+		}
+		q, err := quant.Quantize(x, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Rows = append(c.Rows, Row{Index: uint32(i * 3), Accum: rng.Float32(), Q: q})
+	}
+	return c
+}
+
+func chunksEqual(t *testing.T, a, b *Chunk) {
+	t.Helper()
+	if a.TableID != b.TableID || len(a.Rows) != len(b.Rows) {
+		t.Fatalf("chunk headers differ: %d/%d vs %d/%d", a.TableID, len(a.Rows), b.TableID, len(b.Rows))
+	}
+	for i := range a.Rows {
+		ra, rb := &a.Rows[i], &b.Rows[i]
+		if ra.Index != rb.Index || ra.Accum != rb.Accum {
+			t.Fatalf("row %d metadata differs", i)
+		}
+		va, vb := quant.Dequantize(ra.Q), quant.Dequantize(rb.Q)
+		if len(va) != len(vb) {
+			t.Fatalf("row %d dim differs", i)
+		}
+		for j := range va {
+			if va[j] != vb[j] {
+				t.Fatalf("row %d element %d differs: %v vs %v", i, j, va[j], vb[j])
+			}
+		}
+	}
+}
+
+func TestCompactRoundTrip(t *testing.T) {
+	for _, bits := range []int{2, 3, 4, 8, 32} {
+		c := makeUniformChunk(t, int64(bits), 25, 16, bits)
+		blob, err := c.EncodeCompact()
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		got, err := DecodeChunk(blob)
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		chunksEqual(t, c, got)
+	}
+}
+
+func TestCompactEmptyChunk(t *testing.T) {
+	c := &Chunk{TableID: 7}
+	blob, err := c.EncodeCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeChunk(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TableID != 7 || len(got.Rows) != 0 {
+		t.Fatalf("empty compact chunk = %+v", got)
+	}
+}
+
+func TestCompactSmallerThanV1(t *testing.T) {
+	c := makeUniformChunk(t, 1, 100, 16, 4)
+	v1, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := c.EncodeCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At dim 16 / 4 bits, v1 carries 34 metadata bytes per row vs v2's
+	// 20; expect at least a 25% chunk-size reduction.
+	if float64(len(v2)) > float64(len(v1))*0.75 {
+		t.Fatalf("compact %d bytes vs v1 %d: insufficient saving", len(v2), len(v1))
+	}
+	t.Logf("v1=%dB v2=%dB (%.0f%% smaller)", len(v1), len(v2), (1-float64(len(v2))/float64(len(v1)))*100)
+}
+
+func TestCompactRejectsKMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float32, 16)
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	q, err := quant.Quantize(x, quant.Params{Method: quant.MethodKMeans, Bits: 4, KMeansIters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Chunk{Rows: []Row{{Index: 0, Q: q}}}
+	if c.CompactEncodable() {
+		t.Fatal("k-means rows should not be compact-encodable")
+	}
+	if _, err := c.EncodeCompact(); err == nil {
+		t.Fatal("EncodeCompact should reject k-means rows")
+	}
+}
+
+func TestCompactRejectsMixedBits(t *testing.T) {
+	a := makeUniformChunk(t, 3, 1, 16, 4)
+	b := makeUniformChunk(t, 4, 1, 16, 8)
+	mixed := &Chunk{Rows: []Row{a.Rows[0], b.Rows[0]}}
+	if mixed.CompactEncodable() {
+		t.Fatal("mixed bit-widths should not be compact-encodable")
+	}
+}
+
+func TestCompactCRCDetectsCorruption(t *testing.T) {
+	blob, err := makeUniformChunk(t, 5, 20, 16, 4).EncodeCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{0, len(blob) / 2, len(blob) - 5} {
+		bad := append([]byte(nil), blob...)
+		bad[pos] ^= 0xFF
+		if _, err := DecodeChunk(bad); err == nil {
+			t.Fatalf("corruption at %d undetected", pos)
+		}
+	}
+}
+
+func TestCompactTruncation(t *testing.T) {
+	blob, err := makeUniformChunk(t, 6, 10, 8, 2).EncodeCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 10, len(blob) - 1} {
+		if _, err := DecodeChunk(blob[:n]); err == nil {
+			t.Fatalf("truncation to %d undetected", n)
+		}
+	}
+}
+
+func TestCompactQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, rowsRaw, bitsIdx uint8) bool {
+		rows := int(rowsRaw) % 40
+		bits := []int{2, 3, 4, 8, 32}[int(bitsIdx)%5]
+		c := makeUniformChunk(t, seed, rows, 8, bits)
+		blob, err := c.EncodeCompact()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeChunk(blob)
+		if err != nil {
+			return false
+		}
+		if len(got.Rows) != rows {
+			return false
+		}
+		for i := range c.Rows {
+			va, vb := quant.Dequantize(c.Rows[i].Q), quant.Dequantize(got.Rows[i].Q)
+			for j := range va {
+				if va[j] != vb[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompactEncode(b *testing.B) {
+	c := makeUniformChunk(b, 1, 256, 16, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EncodeCompact(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompactDecode(b *testing.B) {
+	blob, err := makeUniformChunk(b, 1, 256, 16, 4).EncodeCompact()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeChunk(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package wire defines the on-storage checkpoint format: CRC-protected
+// chunks of (possibly quantized) embedding rows, and the JSON manifest
+// that makes a set of chunks a valid, restorable checkpoint.
+//
+// The format follows §4.4/§5.2 of the paper: the optimizer works on chunks
+// of embedding vectors at a time so quantization and upload pipeline, and
+// a checkpoint becomes valid only when its manifest is durably stored
+// after all chunks ("when all nodes finish storing their part ... the
+// controller will declare a new valid checkpoint").
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/quant"
+)
+
+// Kind discriminates full baseline checkpoints from incremental ones.
+type Kind uint8
+
+const (
+	// KindFull is a full baseline checkpoint containing every row.
+	KindFull Kind = iota
+	// KindIncremental contains only rows modified since its base
+	// (one-shot / intermittent policies) or since its parent
+	// (consecutive policy).
+	KindIncremental
+)
+
+// String names the kind for manifests and logs.
+func (k Kind) String() string {
+	if k == KindFull {
+		return "full"
+	}
+	return "incremental"
+}
+
+// Row is one embedding row inside a chunk: its index within the table, the
+// row-wise optimizer accumulator (always fp32 — it is tiny relative to the
+// vector), and the quantized vector payload.
+type Row struct {
+	Index uint32
+	Accum float32
+	Q     *quant.QVector
+}
+
+// Chunk is the unit of quantize-then-upload pipelining: a contiguous run
+// of rows from a single table.
+type Chunk struct {
+	TableID uint32
+	Rows    []Row
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// chunkMagic guards against decoding non-chunk objects.
+const chunkMagic = 0x434B5031 // "CKP1"
+
+// Encode serializes the chunk with a trailing CRC32-C over the body.
+func (c *Chunk) Encode() ([]byte, error) {
+	// Header: magic u32 | tableID u32 | rowCount u32.
+	out := make([]byte, 0, 16+len(c.Rows)*64)
+	var b4 [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(b4[:], v)
+		out = append(out, b4[:]...)
+	}
+	put(chunkMagic)
+	put(c.TableID)
+	put(uint32(len(c.Rows)))
+	for i := range c.Rows {
+		r := &c.Rows[i]
+		if r.Q == nil {
+			return nil, fmt.Errorf("wire: row %d has nil quantized vector", i)
+		}
+		blob, err := r.Q.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("wire: row %d: %w", i, err)
+		}
+		put(r.Index)
+		binary.LittleEndian.PutUint32(b4[:], uint32(len(blob)))
+		out = append(out, b4[:]...)
+		// Accum as raw fp32 bits.
+		put(f32bits(r.Accum))
+		out = append(out, blob...)
+	}
+	put(crc32.Checksum(out, crcTable))
+	return out, nil
+}
+
+// DecodeChunk parses and CRC-verifies a chunk produced by Encode.
+func DecodeChunk(data []byte) (*Chunk, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("wire: chunk too short: %d bytes", len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	want := binary.LittleEndian.Uint32(tail)
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return nil, fmt.Errorf("wire: chunk CRC mismatch: 0x%08x != 0x%08x", got, want)
+	}
+	switch m := binary.LittleEndian.Uint32(body); m {
+	case chunkMagic:
+		// v1 layout, decoded below.
+	case compactMagic:
+		return decodeCompact(body)
+	default:
+		return nil, fmt.Errorf("wire: bad chunk magic 0x%08x", m)
+	}
+	c := &Chunk{TableID: binary.LittleEndian.Uint32(body[4:])}
+	n := int(binary.LittleEndian.Uint32(body[8:]))
+	off := 12
+	c.Rows = make([]Row, 0, n)
+	for i := 0; i < n; i++ {
+		if off+12 > len(body) {
+			return nil, fmt.Errorf("wire: truncated row header at row %d", i)
+		}
+		idx := binary.LittleEndian.Uint32(body[off:])
+		blobLen := int(binary.LittleEndian.Uint32(body[off+4:]))
+		accum := f32frombits(binary.LittleEndian.Uint32(body[off+8:]))
+		off += 12
+		if off+blobLen > len(body) {
+			return nil, fmt.Errorf("wire: truncated row payload at row %d", i)
+		}
+		var q quant.QVector
+		if err := q.UnmarshalBinary(body[off : off+blobLen]); err != nil {
+			return nil, fmt.Errorf("wire: row %d: %w", i, err)
+		}
+		off += blobLen
+		c.Rows = append(c.Rows, Row{Index: idx, Accum: accum, Q: &q})
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("wire: %d trailing bytes in chunk", len(body)-off)
+	}
+	return c, nil
+}
+
+// TableManifest records one table's chunk objects within a checkpoint.
+type TableManifest struct {
+	TableID int `json:"table_id"`
+	Rows    int `json:"rows"`
+	Dim     int `json:"dim"`
+	// StoredRows is the number of rows actually serialized (== Rows for
+	// full checkpoints, the modified count for incrementals).
+	StoredRows int      `json:"stored_rows"`
+	ChunkKeys  []string `json:"chunk_keys"`
+}
+
+// QuantInfo summarizes the quantization applied to a checkpoint.
+type QuantInfo struct {
+	Method  string  `json:"method"`
+	Bits    int     `json:"bits"`
+	NumBins int     `json:"num_bins,omitempty"`
+	Ratio   float64 `json:"ratio,omitempty"`
+}
+
+// Manifest makes a checkpoint self-describing and restorable. It is the
+// last object written; its presence defines checkpoint validity.
+type Manifest struct {
+	FormatVersion int    `json:"format_version"`
+	JobID         string `json:"job_id"`
+	// ID is the checkpoint sequence number within the job.
+	ID int `json:"id"`
+	// Kind is "full" or "incremental".
+	Kind string `json:"kind"`
+	// BaseID is the full baseline this incremental builds on (one-shot /
+	// intermittent), or -1 for full checkpoints.
+	BaseID int `json:"base_id"`
+	// ParentID is the immediately preceding checkpoint in a consecutive
+	// chain, or -1.
+	ParentID int `json:"parent_id"`
+	// SinceBase is true for incrementals that contain every row modified
+	// since BaseID (one-shot/intermittent policies): restore needs only
+	// [base, this]. False means a consecutive-chain link: restore needs
+	// every link from the base forward.
+	SinceBase bool `json:"since_base,omitempty"`
+	// Step is the number of trained batches at snapshot time.
+	Step uint64 `json:"step"`
+	// ReaderNextSample and ReaderBatchSize are the reader state (§4.1).
+	ReaderNextSample uint64          `json:"reader_next_sample"`
+	ReaderBatchSize  int             `json:"reader_batch_size"`
+	Quant            QuantInfo       `json:"quant"`
+	Tables           []TableManifest `json:"tables"`
+	// DenseKey locates the serialized MLP state object.
+	DenseKey string `json:"dense_key"`
+	// PayloadBytes is the total bytes of chunk + dense objects.
+	PayloadBytes int64 `json:"payload_bytes"`
+}
+
+// CurrentFormatVersion is the manifest format this package writes.
+const CurrentFormatVersion = 1
+
+// EncodeManifest serializes the manifest as JSON.
+func EncodeManifest(m *Manifest) ([]byte, error) {
+	if m.FormatVersion == 0 {
+		m.FormatVersion = CurrentFormatVersion
+	}
+	return json.Marshal(m)
+}
+
+// DecodeManifest parses and validates a manifest.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("wire: manifest: %w", err)
+	}
+	if m.FormatVersion != CurrentFormatVersion {
+		return nil, fmt.Errorf("wire: unsupported manifest version %d", m.FormatVersion)
+	}
+	if m.Kind != KindFull.String() && m.Kind != KindIncremental.String() {
+		return nil, fmt.Errorf("wire: unknown checkpoint kind %q", m.Kind)
+	}
+	return &m, nil
+}
+
+// Key helpers define the object layout:
+//
+//	<job>/ckpt/<id>/manifest
+//	<job>/ckpt/<id>/dense
+//	<job>/ckpt/<id>/table/<t>/chunk/<n>
+
+// ManifestKey returns the manifest object key for checkpoint id.
+func ManifestKey(jobID string, id int) string {
+	return fmt.Sprintf("%s/ckpt/%08d/manifest", jobID, id)
+}
+
+// DenseKey returns the dense-state object key.
+func DenseKey(jobID string, id int) string {
+	return fmt.Sprintf("%s/ckpt/%08d/dense", jobID, id)
+}
+
+// ChunkKey returns the object key for chunk n of table t.
+func ChunkKey(jobID string, id, table, n int) string {
+	return fmt.Sprintf("%s/ckpt/%08d/table/%04d/chunk/%06d", jobID, id, table, n)
+}
+
+// CheckpointPrefix returns the key prefix of all of checkpoint id's objects.
+func CheckpointPrefix(jobID string, id int) string {
+	return fmt.Sprintf("%s/ckpt/%08d/", jobID, id)
+}
+
+// JobPrefix returns the key prefix of all of a job's checkpoints.
+func JobPrefix(jobID string) string {
+	return fmt.Sprintf("%s/ckpt/", jobID)
+}
+
+func f32bits(v float32) uint32     { return math.Float32bits(v) }
+func f32frombits(b uint32) float32 { return math.Float32frombits(b) }
