@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro/internal/ckpt"
 	"repro/internal/objstore"
@@ -26,13 +27,20 @@ func main() {
 	storeAddr := flag.String("store", "127.0.0.1:7070", "TCP object store address")
 	job := flag.String("job", "demo", "job ID")
 	id := flag.Int("id", -1, "checkpoint ID (-1 = all where applicable)")
+	force := flag.Bool("force", false, "delete even if other checkpoints depend on the target")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ckptctl [flags] list|verify|delete")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: ckptctl [flags] list|verify|delete [flags]")
 		os.Exit(2)
 	}
 	verb := flag.Arg(0)
+	// Accept flags after the verb too (flag.Parse stops at the first
+	// non-flag argument, which is the verb). flag.CommandLine uses
+	// ExitOnError, so a bad flag exits inside Parse.
+	if flag.NArg() > 1 {
+		_ = flag.CommandLine.Parse(flag.Args()[1:])
+	}
 	logger := log.New(os.Stderr, "ckptctl: ", 0)
 
 	store, err := objstore.Dial(*storeAddr, objstore.ClientConfig{})
@@ -56,15 +64,19 @@ func main() {
 			fmt.Println("no checkpoints")
 			return
 		}
-		fmt.Printf("%-5s %-12s %-5s %-6s %-10s %-10s %-12s %s\n",
-			"id", "kind", "base", "step", "rows", "payload", "quant", "reader@")
+		fmt.Printf("%-5s %-12s %-7s %-5s %-6s %-10s %-10s %-12s %s\n",
+			"id", "kind", "shards", "base", "step", "rows", "payload", "quant", "reader@")
 		for _, m := range ms {
 			stored := 0
 			for _, t := range m.Tables {
 				stored += t.StoredRows
 			}
-			fmt.Printf("%-5d %-12s %-5d %-6d %-10d %-10d %-12s %d\n",
-				m.ID, m.Kind, m.BaseID, m.Step, stored, m.PayloadBytes,
+			shards := "-"
+			if m.Composite() {
+				shards = fmt.Sprintf("%d", m.ShardCount)
+			}
+			fmt.Printf("%-5d %-12s %-7s %-5d %-6d %-10d %-10d %-12s %d\n",
+				m.ID, m.Kind, shards, m.BaseID, m.Step, stored, m.PayloadBytes,
 				fmt.Sprintf("%s/%db", m.Quant.Method, m.Quant.Bits), m.ReaderNextSample)
 		}
 	case "verify":
@@ -101,9 +113,29 @@ func main() {
 		if *id < 0 {
 			logger.Fatal("delete requires -id")
 		}
+		deps, err := dependents(ctx, rest, *job, store, *id)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if len(deps) > 0 && !*force {
+			logger.Fatalf("checkpoint %d is a chain dependency of checkpoint(s) %v; deleting it would make them unrestorable (use -force to delete anyway)", *id, deps)
+		}
 		keys, err := store.List(ctx, wire.CheckpointPrefix(*job, *id))
 		if err != nil {
 			logger.Fatal(err)
+		}
+		// Sharded checkpoints keep their per-shard objects outside the
+		// composite prefix; sweep those too (this also reaps debris a
+		// torn shard attempt might have left without a composite).
+		shardKeys, err := store.List(ctx, wire.ShardScopePrefix(*job))
+		if err != nil {
+			logger.Fatal(err)
+		}
+		idPart := fmt.Sprintf("/ckpt/%08d/", *id)
+		for _, k := range shardKeys {
+			if strings.Contains(k, idPart) {
+				keys = append(keys, k)
+			}
 		}
 		if len(keys) == 0 {
 			logger.Fatalf("checkpoint %d not found", *id)
@@ -117,4 +149,61 @@ func main() {
 	default:
 		logger.Fatalf("unknown verb %q", verb)
 	}
+}
+
+// dependents returns the IDs of checkpoints whose restore chains pass
+// through checkpoint id — deleting id would brick them. For sharded
+// composites the per-shard chains are walked.
+func dependents(ctx context.Context, rest *ckpt.Restorer, job string, store objstore.Store, id int) ([]int, error) {
+	ms, err := rest.ListManifests(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, m := range ms {
+		if m.ID == id {
+			continue
+		}
+		needs, err := chainNeeds(ctx, rest, job, store, m, id)
+		if err != nil {
+			return nil, err
+		}
+		if needs {
+			out = append(out, m.ID)
+		}
+	}
+	return out, nil
+}
+
+// chainNeeds reports whether restoring manifest m requires checkpoint id.
+func chainNeeds(ctx context.Context, rest *ckpt.Restorer, job string, store objstore.Store, m *wire.Manifest, id int) (bool, error) {
+	if !m.Composite() {
+		chain, err := rest.Chain(ctx, m.ID)
+		if err != nil {
+			// An already-broken chain is not this deletion's problem.
+			return false, nil
+		}
+		for _, link := range chain {
+			if link.ID == id {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	for s := 0; s < m.ShardCount; s++ {
+		sub, err := ckpt.NewRestorer(wire.ShardJobID(job, s), store)
+		if err != nil {
+			return false, err
+		}
+		chain, err := sub.Chain(ctx, m.ID)
+		if err != nil {
+			continue
+		}
+		for _, link := range chain {
+			if link.ID == id {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
 }

@@ -1,0 +1,338 @@
+package ckpt
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/embedding"
+	"repro/internal/wire"
+)
+
+// CoordinatorConfig configures a sharded checkpoint Coordinator. The
+// embedded Config is the template every shard engine is built from; its
+// JobID and Store name the job as a whole (shard engines run under
+// wire.ShardJobID-scoped job IDs derived from it).
+type CoordinatorConfig struct {
+	Config
+	// Shards is the number of logical shard writers. Must be >= 1.
+	Shards int
+	// Assignment optionally pins table ID -> shard — e.g. to mirror the
+	// trainer cluster's node ownership (trainer.Cluster.TableAssignment).
+	// Tables absent from the map are balanced by row count across shards
+	// at the first Write. Assignments must name shards in [0, Shards).
+	Assignment map[int]int
+}
+
+// Coordinator fans one job's checkpoints out across N logical shard
+// writers — the paper's multi-trainer shape, where each trainer owns a
+// subset of the embedding tables and stores its part concurrently. Each
+// shard runs a full Engine pipeline (its own uploader pool, policy
+// state, and cumulative-delta bitmap) under a shard-scoped job ID, and
+// the coordinator commits a single composite manifest only after every
+// shard's objects are durable: a two-phase commit in which a crashed
+// shard can never leave a restorable-looking checkpoint behind.
+//
+// Like Engine, methods are not safe for concurrent use — checkpoints of
+// one job never overlap. The concurrency is inside one Write.
+type Coordinator struct {
+	cfg    CoordinatorConfig
+	shards []*Engine
+	// assign is the table -> shard ownership map, fixed at first Write
+	// (seeded from cfg.Assignment) so per-shard incremental chains stay
+	// self-contained across the job's lifetime.
+	assign map[int]int
+	nextID int
+	// manifests caches committed composite manifests by ID for GC.
+	manifests map[int]*wire.Manifest
+}
+
+// NewCoordinator validates cfg and builds the per-shard engines.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("ckpt: coordinator needs >= 1 shard, got %d", cfg.Shards)
+	}
+	if cfg.JobID == "" {
+		return nil, fmt.Errorf("ckpt: empty job ID")
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("ckpt: nil store")
+	}
+	c := &Coordinator{
+		cfg:       cfg,
+		assign:    make(map[int]int),
+		manifests: make(map[int]*wire.Manifest),
+	}
+	for id, s := range cfg.Assignment {
+		if s < 0 || s >= cfg.Shards {
+			return nil, fmt.Errorf("ckpt: table %d assigned to shard %d, want [0,%d)", id, s, cfg.Shards)
+		}
+		c.assign[id] = s
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		ecfg := cfg.Config
+		ecfg.JobID = wire.ShardJobID(cfg.JobID, s)
+		eng, err := NewEngine(ecfg)
+		if err != nil {
+			return nil, err
+		}
+		c.shards = append(c.shards, eng)
+	}
+	return c, nil
+}
+
+// Shards returns the shard count.
+func (c *Coordinator) Shards() int { return c.cfg.Shards }
+
+// NextID returns the ID the next composite checkpoint will get.
+func (c *Coordinator) NextID() int { return c.nextID }
+
+// LatestID returns the ID of the most recent committed composite
+// checkpoint, or -1.
+func (c *Coordinator) LatestID() int { return c.nextID - 1 }
+
+// Manifest returns the committed composite manifest with the given ID,
+// if retained.
+func (c *Coordinator) Manifest(id int) (*wire.Manifest, bool) {
+	m, ok := c.manifests[id]
+	return m, ok
+}
+
+// Assignment returns a copy of the current table -> shard ownership map
+// (empty before the first Write if none was configured).
+func (c *Coordinator) Assignment() map[int]int {
+	out := make(map[int]int, len(c.assign))
+	for k, v := range c.assign {
+		out[k] = v
+	}
+	return out
+}
+
+// extendAssignment gives every snapshot table an owning shard, keeping
+// prior assignments and balancing new tables by row count: largest table
+// first onto the currently lightest shard.
+func (c *Coordinator) extendAssignment(snap *Snapshot) {
+	load := make([]int, c.cfg.Shards) // rows per shard
+	var unassigned []*embedding.Table
+	for _, tab := range snap.Tables {
+		if s, ok := c.assign[tab.ID]; ok {
+			load[s] += tab.Rows
+		} else {
+			unassigned = append(unassigned, tab)
+		}
+	}
+	sort.Slice(unassigned, func(a, b int) bool {
+		if unassigned[a].Rows != unassigned[b].Rows {
+			return unassigned[a].Rows > unassigned[b].Rows
+		}
+		return unassigned[a].ID < unassigned[b].ID
+	})
+	for _, tab := range unassigned {
+		best := 0
+		for s := 1; s < c.cfg.Shards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		c.assign[tab.ID] = best
+		load[best] += tab.Rows
+	}
+}
+
+// subSnapshot carves shard s's view out of snap: its owned tables and
+// their modified bitmaps. Tables are shared, not copied — the snapshot
+// already owns its memory exclusively and shards own disjoint subsets.
+// Dense state is nil: the coordinator stores the replicated MLP state
+// once at the composite level.
+func (c *Coordinator) subSnapshot(snap *Snapshot, s int) *Snapshot {
+	sub := &Snapshot{
+		Step:     snap.Step,
+		Reader:   snap.Reader,
+		Modified: make(map[int]*bitvec.Bitmap),
+	}
+	for _, tab := range snap.Tables {
+		if c.assign[tab.ID] != s {
+			continue
+		}
+		sub.Tables = append(sub.Tables, tab)
+		if bm, ok := snap.Modified[tab.ID]; ok {
+			sub.Modified[tab.ID] = bm
+		}
+	}
+	return sub
+}
+
+// forEachShard runs fn concurrently for every shard in [0, n) and
+// returns the lowest-indexed shard's error, if any.
+func forEachShard(n int, fn func(s int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = fn(s)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Write checkpoints snap across all shards and commits the composite
+// manifest. Phases:
+//
+//  1. prepare — every shard quantizes and uploads its chunks
+//     concurrently; nothing is visible to recovery yet.
+//  2. publish — shard manifests and the composite dense state are
+//     stored; the checkpoint is still not restorable because only the
+//     composite manifest defines validity.
+//  3. commit — the composite manifest is stored, then every shard
+//     finalizes its in-memory state.
+//
+// Any failure before step 3's composite put aborts every shard,
+// deleting all objects of the attempt; no engine state changes, so a
+// retry reuses the same ID.
+func (c *Coordinator) Write(ctx context.Context, snap *Snapshot) (*wire.Manifest, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("ckpt: nil snapshot")
+	}
+	c.extendAssignment(snap)
+	id := c.nextID
+
+	// Phase 1: concurrent per-shard prepare.
+	prepared := make([]*Prepared, c.cfg.Shards)
+	abort := func() {
+		for _, p := range prepared {
+			if p != nil {
+				p.Abort(ctx)
+			}
+		}
+		_ = c.cfg.Store.Delete(ctx, wire.DenseKey(c.cfg.JobID, id))
+	}
+	err := forEachShard(c.cfg.Shards, func(s int) error {
+		p, err := c.shards[s].Prepare(ctx, c.subSnapshot(snap, s))
+		if err != nil {
+			return fmt.Errorf("ckpt: shard %d: %w", s, err)
+		}
+		prepared[s] = p
+		return nil
+	})
+	if err != nil {
+		abort()
+		return nil, err
+	}
+
+	// Phase 2: publish shard manifests and the composite dense state.
+	// Still invisible to recovery — validity is the composite manifest.
+	// As with Engine.Prepare, a nil Dense means the snapshot carries no
+	// dense state and the manifest records no DenseKey.
+	var denseKey string
+	if snap.Dense != nil {
+		denseKey = wire.DenseKey(c.cfg.JobID, id)
+		if err := c.cfg.Store.Put(ctx, denseKey, snap.Dense); err != nil {
+			abort()
+			return nil, fmt.Errorf("ckpt: dense state: %w", err)
+		}
+	}
+	err = forEachShard(c.cfg.Shards, func(s int) error {
+		if err := prepared[s].Publish(ctx); err != nil {
+			return fmt.Errorf("ckpt: shard %d: %w", s, err)
+		}
+		return nil
+	})
+	if err != nil {
+		abort()
+		return nil, err
+	}
+
+	// Phase 3: commit. The composite manifest's presence is the commit
+	// point; after it lands, finalizing shard state cannot fail.
+	man := c.compositeManifest(id, snap, prepared, denseKey)
+	manBlob, err := wire.EncodeManifest(man)
+	if err != nil {
+		abort()
+		return nil, fmt.Errorf("ckpt: encode composite manifest: %w", err)
+	}
+	if err := c.cfg.Store.Put(ctx, wire.ManifestKey(c.cfg.JobID, id), manBlob); err != nil {
+		abort()
+		return nil, fmt.Errorf("ckpt: store composite manifest: %w", err)
+	}
+	for _, p := range prepared {
+		p.Finalize(ctx)
+	}
+	c.manifests[id] = man
+	c.nextID++
+	if c.cfg.KeepLast > 0 {
+		c.gc(ctx)
+	}
+	return man, nil
+}
+
+// compositeManifest assembles the top-level manifest from the prepared
+// shard checkpoints. Kind is "full" only if every shard wrote a full
+// baseline this round (shards running the intermittent policy may take
+// baselines at different times). Tables aggregates the shard table
+// manifests for inspection — with ChunkKeys left nil, because the
+// restorable chunk references live in the shard manifests.
+func (c *Coordinator) compositeManifest(id int, snap *Snapshot, prepared []*Prepared, denseKey string) *wire.Manifest {
+	man := &wire.Manifest{
+		FormatVersion:    wire.CurrentFormatVersion,
+		JobID:            c.cfg.JobID,
+		ID:               id,
+		Kind:             wire.KindFull.String(),
+		BaseID:           -1,
+		ParentID:         id - 1,
+		Step:             snap.Step,
+		ReaderNextSample: snap.Reader.NextSample,
+		ReaderBatchSize:  snap.Reader.BatchSize,
+		DenseKey:         denseKey,
+		PayloadBytes:     int64(len(snap.Dense)),
+		ShardCount:       c.cfg.Shards,
+		TableShards:      c.Assignment(),
+	}
+	allFull := true
+	for s, p := range prepared {
+		sm := p.Manifest()
+		man.Quant = sm.Quant
+		man.PayloadBytes += sm.PayloadBytes
+		man.ShardManifestKeys = append(man.ShardManifestKeys,
+			wire.ManifestKey(wire.ShardJobID(c.cfg.JobID, s), id))
+		if sm.Kind != wire.KindFull.String() {
+			allFull = false
+		}
+		for _, tm := range sm.Tables {
+			tm.ChunkKeys = nil
+			man.Tables = append(man.Tables, tm)
+		}
+	}
+	if !allFull {
+		man.Kind = wire.KindIncremental.String()
+	}
+	sort.Slice(man.Tables, func(a, b int) bool { return man.Tables[a].TableID < man.Tables[b].TableID })
+	return man
+}
+
+// gc deletes composite-level objects (manifest + dense) of checkpoints
+// beyond KeepLast. Shard-level objects are garbage collected by each
+// shard engine, which retains whatever its retained increments depend
+// on — so a restorable composite always finds its shard chains intact,
+// while expired composites stop being listed.
+func (c *Coordinator) gc(ctx context.Context) {
+	for id, m := range c.manifests {
+		if id > c.nextID-1-c.cfg.KeepLast {
+			continue
+		}
+		_ = c.cfg.Store.Delete(ctx, wire.ManifestKey(c.cfg.JobID, id))
+		if m.DenseKey != "" {
+			_ = c.cfg.Store.Delete(ctx, m.DenseKey)
+		}
+		delete(c.manifests, id)
+	}
+}

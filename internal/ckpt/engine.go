@@ -120,6 +120,34 @@ func (e *Engine) NextID() int { return e.nextID }
 // once it is valid (manifest durably stored). This runs the paper's
 // step 2 and 3: quantize chunk-by-chunk, upload pipelined, then commit.
 func (e *Engine) Write(ctx context.Context, snap *Snapshot) (*wire.Manifest, error) {
+	p, err := e.Prepare(ctx, snap)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Publish(ctx); err != nil {
+		p.Abort(ctx)
+		return nil, err
+	}
+	return p.Finalize(ctx), nil
+}
+
+// Prepared is a checkpoint whose payload objects (chunks and dense
+// state) are durably stored but whose manifest is not yet published.
+// Until Publish+Finalize run, the engine's in-memory state is untouched
+// and the checkpoint is invisible to recovery, so Abort rolls the whole
+// attempt back without side effects. This is the shard-local "prepared"
+// vote of the coordinator's two-phase commit.
+type Prepared struct {
+	eng  *Engine
+	man  *wire.Manifest
+	dec  decision
+	size float64 // stored fraction of total rows, for policy history
+	done bool
+}
+
+// Prepare quantizes and uploads a checkpoint's payload without
+// publishing its manifest or committing engine state.
+func (e *Engine) Prepare(ctx context.Context, snap *Snapshot) (*Prepared, error) {
 	if snap == nil {
 		return nil, fmt.Errorf("ckpt: nil snapshot")
 	}
@@ -161,7 +189,9 @@ func (e *Engine) Write(ctx context.Context, snap *Snapshot) (*wire.Manifest, err
 			NumBins: e.cfg.Quant.NumBins,
 			Ratio:   e.cfg.Quant.Ratio,
 		},
-		DenseKey: wire.DenseKey(e.cfg.JobID, id),
+	}
+	if snap.Dense != nil {
+		man.DenseKey = wire.DenseKey(e.cfg.JobID, id)
 	}
 	if id == 0 {
 		man.ParentID = -1
@@ -188,42 +218,80 @@ func (e *Engine) Write(ctx context.Context, snap *Snapshot) (*wire.Manifest, err
 		man.Tables = append(man.Tables, tm)
 	}
 
-	if err := e.cfg.Store.Put(ctx, man.DenseKey, snap.Dense); err != nil {
-		e.cleanup(ctx, id)
-		return nil, fmt.Errorf("ckpt: dense state: %w", err)
+	if man.DenseKey != "" {
+		if err := e.cfg.Store.Put(ctx, man.DenseKey, snap.Dense); err != nil {
+			e.cleanup(ctx, id)
+			return nil, fmt.Errorf("ckpt: dense state: %w", err)
+		}
+		payloadBytes += int64(len(snap.Dense))
 	}
-	payloadBytes += int64(len(snap.Dense))
 	man.PayloadBytes = payloadBytes
 
-	manBlob, err := wire.EncodeManifest(man)
-	if err != nil {
-		e.cleanup(ctx, id)
-		return nil, fmt.Errorf("ckpt: encode manifest: %w", err)
-	}
-	if err := e.cfg.Store.Put(ctx, wire.ManifestKey(e.cfg.JobID, id), manBlob); err != nil {
-		e.cleanup(ctx, id)
-		return nil, fmt.Errorf("ckpt: store manifest: %w", err)
-	}
-
-	// Commit engine state.
 	size := 0.0
 	if totalRows > 0 {
 		size = float64(storedTotal) / float64(totalRows)
 	}
-	e.state.record(dec.kind, size)
-	if dec.kind == wire.KindFull {
-		e.lastFullID = id
+	return &Prepared{eng: e, man: man, dec: dec, size: size}, nil
+}
+
+// Manifest returns the prepared checkpoint's manifest. Callers may
+// inspect it but must not rely on it being restorable before Publish.
+func (p *Prepared) Manifest() *wire.Manifest { return p.man }
+
+// Publish durably stores the manifest object, making the checkpoint
+// visible to recovery. Engine state is still uncommitted: the caller
+// must follow with Finalize (or, on failure, Abort — which also removes
+// a manifest published by an earlier attempt of this call).
+func (p *Prepared) Publish(ctx context.Context) error {
+	if p.done {
+		return fmt.Errorf("ckpt: checkpoint %d already finalized or aborted", p.man.ID)
+	}
+	manBlob, err := wire.EncodeManifest(p.man)
+	if err != nil {
+		return fmt.Errorf("ckpt: encode manifest: %w", err)
+	}
+	e := p.eng
+	if err := e.cfg.Store.Put(ctx, wire.ManifestKey(e.cfg.JobID, p.man.ID), manBlob); err != nil {
+		return fmt.Errorf("ckpt: store manifest: %w", err)
+	}
+	return nil
+}
+
+// Finalize commits the engine's in-memory state — policy history,
+// baseline tracking, manifest cache, sequence number — and runs GC. It
+// cannot fail; the checkpoint became valid when Publish stored the
+// manifest. Returns the committed manifest.
+func (p *Prepared) Finalize(ctx context.Context) *wire.Manifest {
+	if p.done {
+		return p.man
+	}
+	p.done = true
+	e := p.eng
+	e.state.record(p.dec.kind, p.size)
+	if p.dec.kind == wire.KindFull {
+		e.lastFullID = p.man.ID
 		for _, bm := range e.cumulative {
 			bm.Reset()
 		}
 	}
-	e.manifests[id] = man
+	e.manifests[p.man.ID] = p.man
 	e.nextID++
 
 	if e.cfg.KeepLast > 0 {
 		e.gc(ctx)
 	}
-	return man, nil
+	return p.man
+}
+
+// Abort deletes every object the prepared checkpoint stored (including
+// a manifest from a failed Publish round). Engine state was never
+// touched, so the next Prepare reuses the same ID.
+func (p *Prepared) Abort(ctx context.Context) {
+	if p.done {
+		return
+	}
+	p.done = true
+	p.eng.cleanup(ctx, p.man.ID)
 }
 
 // rowsToStore returns the sorted row indices of tab to serialize under dec.

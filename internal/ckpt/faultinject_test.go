@@ -3,12 +3,14 @@ package ckpt
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/model"
 	"repro/internal/objstore"
 	"repro/internal/quant"
+	"repro/internal/wire"
 )
 
 // flakyStore wraps a Store and fails Puts according to a schedule —
@@ -130,6 +132,187 @@ func TestWriteContextCancelledMidway(t *testing.T) {
 	if len(keys) != 0 {
 		t.Fatalf("leftover objects after cancellation: %v", keys)
 	}
+}
+
+// shardKillStore fails every Put whose key contains kill, after allowing
+// the first okFirst matching Puts through — killing one shard writer
+// mid-checkpoint while the other shards keep storing.
+type shardKillStore struct {
+	objstore.Store
+	mu      sync.Mutex
+	kill    string
+	okFirst int
+	matched int
+}
+
+func (s *shardKillStore) arm(substr string, okFirst int) {
+	s.mu.Lock()
+	s.kill = substr
+	s.okFirst = okFirst
+	s.matched = 0
+	s.mu.Unlock()
+}
+
+func (s *shardKillStore) Put(ctx context.Context, key string, value []byte) error {
+	s.mu.Lock()
+	armed := s.kill != "" && strings.Contains(key, s.kill)
+	if armed {
+		s.matched++
+		armed = s.matched > s.okFirst
+	}
+	s.mu.Unlock()
+	if armed {
+		return errInjected
+	}
+	return s.Store.Put(ctx, key, value)
+}
+
+func TestShardKillMidCheckpointAbortsComposite(t *testing.T) {
+	inner := objstore.NewMemStore(objstore.MemConfig{})
+	killer := &shardKillStore{Store: inner}
+	f := newFixture(t, Config{Policy: PolicyFull})
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Config: Config{JobID: "kill", Store: killer, Policy: PolicyOneShot, ChunkRows: 64},
+		Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint 0 lands cleanly; remember its exact restored state.
+	if _, err := coord.Write(f.ctx, f.trainAndSnapshot(t, 2, 32)); err != nil {
+		t.Fatal(err)
+	}
+	rest, err := NewRestorer("kill", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mPrev, _ := model.New(testModelConfig(), 2)
+	if _, err := rest.RestoreLatest(f.ctx, mPrev); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill shard 1 after its first chunk of checkpoint 1 uploads.
+	killer.arm("/shard/0001/ckpt/00000001/", 1)
+	snap := f.trainAndSnapshot(t, 2, 32)
+	if _, err := coord.Write(f.ctx, snap); !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected shard failure", err)
+	}
+
+	// (a) No composite manifest was committed for the torn checkpoint,
+	// and no objects of the attempt survive anywhere.
+	if _, err := inner.Get(f.ctx, wire.ManifestKey("kill", 1)); !errors.Is(err, objstore.ErrNotFound) {
+		t.Fatalf("torn checkpoint has a composite manifest (err %v)", err)
+	}
+	keys, err := inner.List(f.ctx, "kill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if strings.Contains(k, "/ckpt/00000001/") {
+			t.Fatalf("torn checkpoint left object %s", k)
+		}
+	}
+
+	// (b) Restore falls back to checkpoint 0, byte-for-byte.
+	mAfter, _ := model.New(testModelConfig(), 2)
+	res, err := rest.RestoreLatest(f.ctx, mAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Manifests[0].ID != 0 {
+		t.Fatalf("fell back to checkpoint %d, want 0", res.Manifests[0].ID)
+	}
+	assertBitIdentical(t, mPrev, mAfter)
+
+	// Disarmed, the retry reuses ID 1 and becomes restorable.
+	killer.arm("", 0)
+	man, err := coord.Write(f.ctx, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.ID != 1 {
+		t.Fatalf("retry ID = %d, want 1", man.ID)
+	}
+	m2, _ := model.New(testModelConfig(), 2)
+	if _, err := rest.RestoreLatest(f.ctx, m2); err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, f.m, m2)
+}
+
+func TestShardKillOnManifestPublishAbortsComposite(t *testing.T) {
+	// Fail the two-phase commit later: chunks all land, but one shard's
+	// manifest put dies. The composite must still not exist.
+	inner := objstore.NewMemStore(objstore.MemConfig{})
+	killer := &shardKillStore{Store: inner}
+	f := newFixture(t, Config{Policy: PolicyFull})
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Config: Config{JobID: "pubkill", Store: killer, Policy: PolicyFull},
+		Shards: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	killer.arm("/shard/0002/ckpt/00000000/manifest", 0)
+	if _, err := coord.Write(f.ctx, f.trainAndSnapshot(t, 1, 16)); !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	keys, err := inner.List(f.ctx, "pubkill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 0 {
+		t.Fatalf("aborted publish left %d objects: %v", len(keys), keys)
+	}
+	rest, _ := NewRestorer("pubkill", inner)
+	m2, _ := model.New(testModelConfig(), 2)
+	if _, err := rest.RestoreLatest(f.ctx, m2); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestCompositeMissingShardManifestFallsBack(t *testing.T) {
+	// Belt and braces beyond the two-phase commit: if a committed
+	// composite loses a shard manifest (tampering, partial GC), restore
+	// must fall back to the newest complete checkpoint instead of failing.
+	f := newFixture(t, Config{Policy: PolicyFull})
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Config: Config{JobID: "tamper", Store: f.store, Policy: PolicyFull},
+		Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Write(f.ctx, f.trainAndSnapshot(t, 1, 16)); err != nil {
+		t.Fatal(err)
+	}
+	rest, _ := NewRestorer("tamper", f.store)
+	mPrev, _ := model.New(testModelConfig(), 2)
+	if _, err := rest.RestoreLatest(f.ctx, mPrev); err != nil {
+		t.Fatal(err)
+	}
+	man1, err := coord.Write(f.ctx, f.trainAndSnapshot(t, 1, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.store.Delete(f.ctx, man1.ShardManifestKeys[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Direct restore of the damaged composite errors...
+	m2, _ := model.New(testModelConfig(), 2)
+	if _, err := rest.Restore(f.ctx, man1.ID, m2); err == nil {
+		t.Fatal("restore of incomplete composite should error")
+	}
+	// ...while RestoreLatest falls back to checkpoint 0, byte-for-byte.
+	mAfter, _ := model.New(testModelConfig(), 2)
+	res, err := rest.RestoreLatest(f.ctx, mAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Manifests[0].ID != 0 {
+		t.Fatalf("fell back to %d, want 0", res.Manifests[0].ID)
+	}
+	assertBitIdentical(t, mPrev, mAfter)
 }
 
 func TestRestoreFailsCleanlyOnMissingBase(t *testing.T) {

@@ -2,6 +2,7 @@ package ckpt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -74,6 +75,49 @@ func (r *Restorer) Latest(ctx context.Context) (*wire.Manifest, error) {
 // ErrNoCheckpoint indicates the job has no valid checkpoint to restore.
 var ErrNoCheckpoint = fmt.Errorf("ckpt: no valid checkpoint")
 
+// manifest loads checkpoint id's manifest directly by key. A missing
+// manifest wraps objstore.ErrNotFound so callers can distinguish
+// "checkpoint does not exist" from transient store failures.
+func (r *Restorer) manifest(ctx context.Context, id int) (*wire.Manifest, error) {
+	blob, err := r.store.Get(ctx, wire.ManifestKey(r.jobID, id))
+	if errors.Is(err, objstore.ErrNotFound) {
+		return nil, fmt.Errorf("ckpt: checkpoint %d not found: %w", id, err)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: get manifest %d: %w", id, err)
+	}
+	return wire.DecodeManifest(blob)
+}
+
+// Complete reports whether manifest man is fully restorable at the
+// manifest level: for a composite, every shard manifest it references
+// must be present. (Two-phase commit makes an incomplete composite
+// impossible in normal operation — the composite manifest is written
+// last — but manual deletion or partial GC can violate it, and restore
+// should then fall back rather than fail.) Only a definitive missing
+// object marks the checkpoint incomplete; transient store errors
+// propagate so a flaky store cannot silently demote recovery to an
+// older checkpoint.
+func (r *Restorer) Complete(ctx context.Context, man *wire.Manifest) (bool, error) {
+	if !man.Composite() {
+		return true, nil
+	}
+	for _, key := range man.ShardManifestKeys {
+		if _, err := r.store.Stat(ctx, key); err != nil {
+			if errors.Is(err, objstore.ErrNotFound) {
+				return false, nil
+			}
+			return false, fmt.Errorf("ckpt: stat %s: %w", key, err)
+		}
+	}
+	return true, nil
+}
+
+// shardRestorer returns a Restorer scoped to shard s of this job.
+func (r *Restorer) shardRestorer(s int) (*Restorer, error) {
+	return NewRestorer(wire.ShardJobID(r.jobID, s), r.store)
+}
+
 // Chain returns the manifests that must be applied, oldest first, to
 // restore the checkpoint with the given ID:
 //
@@ -87,6 +131,12 @@ func (r *Restorer) Chain(ctx context.Context, id int) ([]*wire.Manifest, error) 
 	if err != nil {
 		return nil, err
 	}
+	return chainFrom(ms, id)
+}
+
+// chainFrom resolves the restore chain for id within an already-loaded
+// manifest listing.
+func chainFrom(ms []*wire.Manifest, id int) ([]*wire.Manifest, error) {
 	byID := make(map[int]*wire.Manifest, len(ms))
 	for _, m := range ms {
 		byID[m.ID] = m
@@ -94,6 +144,9 @@ func (r *Restorer) Chain(ctx context.Context, id int) ([]*wire.Manifest, error) 
 	target, ok := byID[id]
 	if !ok {
 		return nil, fmt.Errorf("ckpt: checkpoint %d not found", id)
+	}
+	if target.Composite() {
+		return nil, fmt.Errorf("ckpt: checkpoint %d is a sharded composite; its chains are per-shard", id)
 	}
 	if target.Kind == wire.KindFull.String() {
 		return []*wire.Manifest{target}, nil
@@ -151,8 +204,18 @@ type RestoreResult struct {
 
 // Restore loads checkpoint id into m. Later chain links overwrite earlier
 // ones row-by-row, reconstructing the exact incremental semantics.
+// Sharded composites fan out across shards in parallel.
 func (r *Restorer) Restore(ctx context.Context, id int, m *model.DLRM) (*RestoreResult, error) {
-	chain, err := r.Chain(ctx, id)
+	ms, err := r.ListManifests(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for _, man := range ms {
+		if man.ID == id && man.Composite() {
+			return r.restoreComposite(ctx, man, m)
+		}
+	}
+	chain, err := chainFrom(ms, id)
 	if err != nil {
 		return nil, err
 	}
@@ -171,13 +234,66 @@ func (r *Restorer) Restore(ctx context.Context, id int, m *model.DLRM) (*Restore
 	return res, nil
 }
 
-// RestoreLatest restores the most recent checkpoint.
-func (r *Restorer) RestoreLatest(ctx context.Context, m *model.DLRM) (*RestoreResult, error) {
-	latest, err := r.Latest(ctx)
+// restoreComposite restores a sharded checkpoint: each shard's chain is
+// resolved and applied concurrently (shards own disjoint tables, so the
+// writes never overlap), then the composite-level dense state lands.
+func (r *Restorer) restoreComposite(ctx context.Context, man *wire.Manifest, m *model.DLRM) (*RestoreResult, error) {
+	res := &RestoreResult{Manifests: []*wire.Manifest{man}}
+	shardRes := make([]*RestoreResult, man.ShardCount)
+	err := forEachShard(man.ShardCount, func(s int) error {
+		sub, err := r.shardRestorer(s)
+		if err != nil {
+			return err
+		}
+		chain, err := sub.Chain(ctx, man.ID)
+		if err != nil {
+			return fmt.Errorf("ckpt: shard %d: %w", s, err)
+		}
+		sres := &RestoreResult{}
+		for _, sm := range chain {
+			if err := sub.applyOne(ctx, sm, m, sres); err != nil {
+				return fmt.Errorf("ckpt: shard %d: %w", s, err)
+			}
+		}
+		shardRes[s] = sres
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return r.Restore(ctx, latest.ID, m)
+	for _, sres := range shardRes {
+		res.RowsApplied += sres.RowsApplied
+		res.BytesRead += sres.BytesRead
+	}
+	// The composite's own Tables carry no chunk keys, so applying it
+	// contributes exactly the shape sanity checks and the dense state.
+	if err := r.applyOne(ctx, man, m, res); err != nil {
+		return nil, err
+	}
+	res.Reader = data.ReaderState{NextSample: man.ReaderNextSample, BatchSize: man.ReaderBatchSize}
+	res.Step = man.Step
+	m.Tracker.Reset()
+	return res, nil
+}
+
+// RestoreLatest restores the most recent complete checkpoint, falling
+// back past any incomplete (partially garbage-collected or tampered)
+// composite to the newest one that is fully restorable.
+func (r *Restorer) RestoreLatest(ctx context.Context, m *model.DLRM) (*RestoreResult, error) {
+	ms, err := r.ListManifests(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(ms) - 1; i >= 0; i-- {
+		ok, err := r.Complete(ctx, ms[i])
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return r.Restore(ctx, ms[i].ID, m)
+		}
+	}
+	return nil, ErrNoCheckpoint
 }
 
 // applyOne applies a single manifest's chunks and dense state to m.
@@ -218,6 +334,10 @@ func (r *Restorer) applyOne(ctx context.Context, man *wire.Manifest, m *model.DL
 				res.RowsApplied++
 			}
 		}
+	}
+	if man.DenseKey == "" {
+		// Shard manifests carry no dense state; the composite does.
+		return nil
 	}
 	dense, err := r.store.Get(ctx, man.DenseKey)
 	if err != nil {

@@ -2,8 +2,10 @@ package ckpt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
+	"repro/internal/objstore"
 	"repro/internal/wire"
 )
 
@@ -32,6 +34,15 @@ func (v *VerifyResult) OK() bool { return len(v.Problems) == 0 && v.ChainOK }
 // runs before trusting a checkpoint (the controller "monitors and
 // maintains checkpoints" in Figure 7).
 func (r *Restorer) Verify(ctx context.Context, id int) (*VerifyResult, error) {
+	man, merr := r.manifest(ctx, id)
+	if merr == nil && man.Composite() {
+		return r.verifyComposite(ctx, man)
+	}
+	if merr != nil && !errors.Is(merr, objstore.ErrNotFound) {
+		// A transient store failure must not masquerade as corruption
+		// (or as a single-writer checkpoint).
+		return nil, merr
+	}
 	chain, err := r.Chain(ctx, id)
 	res := &VerifyResult{ID: id, ChainOK: err == nil}
 	if err != nil {
@@ -90,6 +101,39 @@ func (r *Restorer) Verify(ctx context.Context, id int) (*VerifyResult, error) {
 				}
 			}
 		}
+		if man.DenseKey != "" {
+			if _, err := r.store.Stat(ctx, man.DenseKey); err != nil {
+				res.Problems = append(res.Problems, fmt.Sprintf("dense %s: %v", man.DenseKey, err))
+			}
+		}
+	}
+	return res, nil
+}
+
+// verifyComposite scrubs a sharded checkpoint: every shard's manifest
+// must be present and its restore chain must scrub clean.
+func (r *Restorer) verifyComposite(ctx context.Context, man *wire.Manifest) (*VerifyResult, error) {
+	res := &VerifyResult{ID: man.ID, Kind: man.Kind, ChainOK: true}
+	for s := 0; s < man.ShardCount; s++ {
+		sub, err := r.shardRestorer(s)
+		if err != nil {
+			return nil, err
+		}
+		sv, err := sub.Verify(ctx, man.ID)
+		if err != nil {
+			res.ChainOK = false
+			res.Problems = append(res.Problems, fmt.Sprintf("shard %d: %v", s, err))
+			continue
+		}
+		res.Chunks += sv.Chunks
+		res.Rows += sv.Rows
+		res.Bytes += sv.Bytes
+		res.ChainOK = res.ChainOK && sv.ChainOK
+		for _, p := range sv.Problems {
+			res.Problems = append(res.Problems, fmt.Sprintf("shard %d: %s", s, p))
+		}
+	}
+	if man.DenseKey != "" {
 		if _, err := r.store.Stat(ctx, man.DenseKey); err != nil {
 			res.Problems = append(res.Problems, fmt.Sprintf("dense %s: %v", man.DenseKey, err))
 		}

@@ -48,8 +48,11 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		cfg.DialTimeout = 5 * time.Second
 	}
 	cl := &Client{addr: addr, poolSize: cfg.PoolSize, timeout: cfg.DialTimeout}
-	// Probe.
-	if _, err := cl.List(context.Background(), "\x00probe\x00"); err != nil {
+	// Probe, bounded by the dial timeout so an accepting-but-unresponsive
+	// endpoint cannot hang Dial forever.
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.DialTimeout)
+	defer cancel()
+	if _, err := cl.List(ctx, "\x00probe\x00"); err != nil {
 		return nil, fmt.Errorf("objstore: dial probe: %w", err)
 	}
 	return cl, nil

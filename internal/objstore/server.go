@@ -155,6 +155,17 @@ func (s *Server) handle(w io.Writer, req *request) error {
 	}
 }
 
+// CloseConns closes every live connection without stopping the
+// listener. Clients transparently redial; this is a fault-injection
+// hook for exercising that path under load.
+func (s *Server) CloseConns() {
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
 func (s *Server) isClosed() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -175,6 +175,20 @@ func (c *Cluster) gatherParallel(b *data.Batch) *model.Gathered {
 	return g
 }
 
+// TableAssignment returns the table -> node ownership map. A sharded
+// checkpoint Coordinator configured with it aligns shard writers with
+// the trainer nodes that own each embedding table, so every node
+// checkpoints exactly the rows it trains.
+func (c *Cluster) TableAssignment() map[int]int {
+	out := make(map[int]int)
+	for n, set := range c.nodeTables {
+		for id := range set {
+			out[id] = n
+		}
+	}
+	return out
+}
+
 // Snapshot stalls training (advancing the clock by the modeled snapshot
 // stall, §4.2/§6.1) and returns an atomic copy of the trainer state. The
 // caller must not run Step concurrently — the trainer is synchronous, so

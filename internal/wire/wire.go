@@ -184,11 +184,31 @@ type Manifest struct {
 	ReaderBatchSize  int             `json:"reader_batch_size"`
 	Quant            QuantInfo       `json:"quant"`
 	Tables           []TableManifest `json:"tables"`
-	// DenseKey locates the serialized MLP state object.
-	DenseKey string `json:"dense_key"`
+	// DenseKey locates the serialized MLP state object. Empty means the
+	// manifest carries no dense state (shard manifests: the coordinator
+	// stores the replicated MLP state once, at the composite level).
+	DenseKey string `json:"dense_key,omitempty"`
 	// PayloadBytes is the total bytes of chunk + dense objects.
 	PayloadBytes int64 `json:"payload_bytes"`
+
+	// ShardCount > 0 marks a composite manifest committed by the sharded
+	// coordinator. It is written only after every shard's objects —
+	// chunks and the shard's own manifest — are durably stored, so its
+	// presence certifies the whole sharded checkpoint (the paper's "when
+	// all nodes finish storing their part ... the controller will declare
+	// a new valid checkpoint"). Zero means a single-writer checkpoint.
+	ShardCount int `json:"shard_count,omitempty"`
+	// ShardManifestKeys locates shard s's manifest at index s.
+	ShardManifestKeys []string `json:"shard_manifest_keys,omitempty"`
+	// TableShards maps table ID -> owning shard. The assignment is fixed
+	// for the life of a job so per-shard incremental chains stay
+	// self-contained.
+	TableShards map[int]int `json:"table_shards,omitempty"`
 }
+
+// Composite reports whether m is a sharded composite manifest whose
+// payload lives in per-shard manifests rather than in m.Tables.
+func (m *Manifest) Composite() bool { return m.ShardCount > 0 }
 
 // CurrentFormatVersion is the manifest format this package writes.
 const CurrentFormatVersion = 1
@@ -212,6 +232,10 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 	}
 	if m.Kind != KindFull.String() && m.Kind != KindIncremental.String() {
 		return nil, fmt.Errorf("wire: unknown checkpoint kind %q", m.Kind)
+	}
+	if m.ShardCount > 0 && len(m.ShardManifestKeys) != m.ShardCount {
+		return nil, fmt.Errorf("wire: composite manifest has %d shard keys, want %d",
+			len(m.ShardManifestKeys), m.ShardCount)
 	}
 	return &m, nil
 }
@@ -245,6 +269,25 @@ func CheckpointPrefix(jobID string, id int) string {
 // JobPrefix returns the key prefix of all of a job's checkpoints.
 func JobPrefix(jobID string) string {
 	return fmt.Sprintf("%s/ckpt/", jobID)
+}
+
+// Sharded-coordinator layout: each logical shard writer operates as an
+// ordinary engine under a shard-scoped job ID, so its objects live at
+//
+//	<job>/shard/<s>/ckpt/<id>/...
+//
+// outside JobPrefix — only composite (and single-writer) manifests are
+// visible to a plain manifest listing.
+
+// ShardJobID returns the scoped job ID shard s's writer checkpoints under.
+func ShardJobID(jobID string, shard int) string {
+	return fmt.Sprintf("%s/shard/%04d", jobID, shard)
+}
+
+// ShardScopePrefix returns the key prefix of all shard-scoped objects of
+// a job, across shards and checkpoint IDs.
+func ShardScopePrefix(jobID string) string {
+	return jobID + "/shard/"
 }
 
 func f32bits(v float32) uint32     { return math.Float32bits(v) }
