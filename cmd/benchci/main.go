@@ -1,0 +1,67 @@
+// Command benchci runs the coordinator benchmarks programmatically and
+// writes BENCH_coordinator.json — the CI perf-trajectory artifact, one
+// data point per run, diffable across commits.
+//
+// Usage:
+//
+//	benchci -out BENCH_coordinator.json -benchtime 1s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// Result is one benchmark's measurement in the artifact.
+type Result struct {
+	Name          string  `json:"name"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	MBPerSec      float64 `json:"mb_per_sec"`
+	AllocedBytes  int64   `json:"alloced_bytes_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	PayloadBytes  float64 `json:"payload_bytes_per_op"`
+	BenchtimeFlag string  `json:"benchtime"`
+}
+
+func main() {
+	testing.Init()
+	out := flag.String("out", "BENCH_coordinator.json", "artifact path")
+	benchtime := flag.String("benchtime", "1s", "per-benchmark budget (e.g. 1s, 100x)")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		log.Fatalf("benchci: set benchtime: %v", err)
+	}
+
+	var results []Result
+	for _, c := range bench.CoordinatorCases() {
+		r := testing.Benchmark(c.Run)
+		res := Result{
+			Name:          "Coordinator/" + c.Name,
+			Iterations:    r.N,
+			NsPerOp:       r.NsPerOp(),
+			MBPerSec:      float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds(),
+			AllocedBytes:  r.AllocedBytesPerOp(),
+			AllocsPerOp:   r.AllocsPerOp(),
+			PayloadBytes:  r.Extra["payload_bytes/op"],
+			BenchtimeFlag: *benchtime,
+		}
+		results = append(results, res)
+		fmt.Printf("%-32s %10d ns/op %10.1f MB/s %12.0f payload B/op\n",
+			res.Name, res.NsPerOp, res.MBPerSec, res.PayloadBytes)
+	}
+	blob, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		log.Fatalf("benchci: encode: %v", err)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		log.Fatalf("benchci: write %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
+}

@@ -8,6 +8,7 @@
 //	ckptctl -store 127.0.0.1:7070 -job demo verify        # scrub all
 //	ckptctl -store 127.0.0.1:7070 -job demo verify -id 3
 //	ckptctl -store 127.0.0.1:7070 -job demo delete -id 0
+//	ckptctl -store 127.0.0.1:7070 -job demo gc --dry-run  # orphan sweep
 package main
 
 import (
@@ -28,10 +29,11 @@ func main() {
 	job := flag.String("job", "demo", "job ID")
 	id := flag.Int("id", -1, "checkpoint ID (-1 = all where applicable)")
 	force := flag.Bool("force", false, "delete even if other checkpoints depend on the target")
+	dryRun := flag.Bool("dry-run", false, "gc: report orphans without deleting them")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: ckptctl [flags] list|verify|delete [flags]")
+		fmt.Fprintln(os.Stderr, "usage: ckptctl [flags] list|verify|delete|gc [flags]")
 		os.Exit(2)
 	}
 	verb := flag.Arg(0)
@@ -146,6 +148,27 @@ func main() {
 			}
 		}
 		fmt.Printf("deleted checkpoint %d (%d objects)\n", *id, len(keys))
+	case "gc":
+		// Composite-aware retention sweep: delete orphaned shard (and
+		// composite-scope) objects no surviving manifest chain references
+		// — debris of jobs that died between checkpoints. The job must be
+		// quiescent.
+		report, err := ckpt.SweepOrphans(ctx, *job, store, *dryRun)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		for _, note := range report.Notes {
+			fmt.Printf("note: %s\n", note)
+		}
+		verbed := "deleted"
+		if *dryRun {
+			verbed = "would delete"
+		}
+		for _, k := range report.Orphans {
+			fmt.Printf("%s %s\n", verbed, k)
+		}
+		fmt.Printf("scanned %d objects: %d referenced, %d orphaned (%s)\n",
+			report.Scanned, report.Referenced, len(report.Orphans), verbed)
 	default:
 		logger.Fatalf("unknown verb %q", verb)
 	}

@@ -4,24 +4,57 @@
 // job can checkpoint). The example measures, on a virtual clock, how long
 // a whole-fleet checkpoint round takes with plain full fp32 checkpoints
 // versus Check-N-Run's incremental + 4-bit + compact-metadata pipeline.
+//
+// It then runs the deployment shape for real: the process re-execs
+// itself to fork an object-store daemon and one shard-agent process per
+// trainer node, and acts as the controller driving the two-phase
+// composite commit over TCP — three OS processes per shard boundary,
+// not goroutines.
 package main
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strconv"
+	"syscall"
 	"time"
 
 	"repro/internal/ckpt"
+	"repro/internal/ctrl"
+	"repro/internal/ctrl/shardhost"
 	"repro/internal/data"
 	"repro/internal/experiments"
 	"repro/internal/model"
 	"repro/internal/objstore"
-	"repro/internal/simclock"
 	"repro/internal/trainer"
 )
 
+// Fleet-wide constants every forked process must agree on.
+const (
+	fleetJob   = "fleet-distributed"
+	fleetSeed  = 21
+	fleetBatch = 32
+	fleetDim   = 16
+)
+
+var fleetRows = []int{1024, 1024, 2048}
+
 func main() {
+	// Forked children re-enter main with a role in the environment.
+	switch os.Getenv("FLEET_ROLE") {
+	case "store":
+		runStore()
+		return
+	case "shard":
+		runShard()
+		return
+	}
+
 	cfg := experiments.DefaultContention()
 	fmt.Printf("fleet: %d jobs sharing a %.0f MB/s storage link\n",
 		cfg.Jobs, cfg.Bandwidth/(1<<20))
@@ -39,87 +72,190 @@ func main() {
 	fmt.Println("speedup translates directly into higher feasible checkpoint")
 	fmt.Println("frequency — or more jobs on the same storage tier.")
 
-	shardedDemo()
+	distributedDemo()
 }
 
-// shardedDemo runs the multi-trainer shape end-to-end: a 4-node cluster
-// whose embedding ownership drives a 4-shard checkpoint coordinator,
-// storing over a real TCP object store and committing each checkpoint
-// with a single composite manifest only after every shard is durable.
-func shardedDemo() {
-	fmt.Println("\n--- sharded coordinator over TCP ---")
-	const nodes = 4
-
+// runStore is the forked object-store daemon: the data plane.
+func runStore() {
 	backend := objstore.NewMemStore(objstore.MemConfig{})
 	srv, err := objstore.NewServer("127.0.0.1:0", backend, objstore.ServerConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
-	store, err := objstore.Dial(srv.Addr(), objstore.ClientConfig{PoolSize: 8})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer store.Close()
+	fmt.Println(srv.Addr())
+	waitForSignal()
+	srv.Close()
+}
 
-	m, err := model.New(model.DefaultConfig(), nodes)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cluster, err := trainer.New(m, trainer.Config{Nodes: nodes, Clock: simclock.NewSim(time.Time{})})
-	if err != nil {
-		log.Fatal(err)
-	}
-	gen, err := data.NewGenerator(data.DefaultSpec())
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Shard writers mirror the trainer nodes that own each table.
-	coord, err := ckpt.NewCoordinator(ckpt.CoordinatorConfig{
-		Config: ckpt.Config{
-			JobID:  "fleet-sharded",
-			Store:  store,
-			Policy: ckpt.PolicyOneShot,
-		},
-		Shards:     nodes,
-		Assignment: cluster.TableAssignment(),
+// runShard is one forked shard-agent process: it hosts its replica and
+// serves the control protocol, uploading payload straight to the store.
+func runShard() {
+	shard, _ := strconv.Atoi(os.Getenv("FLEET_SHARD"))
+	shards, _ := strconv.Atoi(os.Getenv("FLEET_SHARDS"))
+	host, err := shardhost.Start(shardhost.Config{
+		JobID:     fleetJob,
+		Shard:     shard,
+		Shards:    shards,
+		StoreAddr: os.Getenv("FLEET_STORE"),
+		Seed:      fleetSeed,
+		BatchSize: fleetBatch,
+		TableRows: fleetRows,
+		Dim:       fleetDim,
+		Engine:    ckpt.Config{Policy: ckpt.PolicyOneShot},
+		Logf:      log.New(os.Stderr, fmt.Sprintf("shard[%d]: ", shard), 0).Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Println(host.Addr())
+	waitForSignal()
+	host.Close()
+}
 
-	ctx := context.Background()
-	const batch = 64
-	for interval := 0; interval < 3; interval++ {
-		for i := 0; i < 4; i++ {
-			cluster.Step(gen.NextBatch(batch))
+func waitForSignal() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+}
+
+// fork re-execs this binary under a role and returns the child and the
+// address it printed.
+func fork(role string, env ...string) (*exec.Cmd, string, error) {
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), append([]string{"FLEET_ROLE=" + role}, env...)...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		cmd.Wait()
+		return nil, "", fmt.Errorf("fleet: %s child exited before printing its address", role)
+	}
+	return cmd, sc.Text(), nil
+}
+
+// distributedDemo forks the fleet — object store + one shard agent per
+// node, each a real OS process — and drives composite checkpoints from
+// this process, the controller. Errors must flow back through here (not
+// os.Exit mid-demo) so the deferred reaping always runs and no child is
+// orphaned.
+func distributedDemo() {
+	if err := runDistributedDemo(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runDistributedDemo() error {
+	const shards = 3
+	fmt.Println("\n--- distributed fleet: controller -> shardd x3 -> objstored ---")
+
+	var children []*exec.Cmd
+	defer func() {
+		for _, c := range children {
+			c.Process.Signal(syscall.SIGTERM)
 		}
-		snap, err := cluster.Snapshot(data.ReaderState{NextSample: gen.Pos(), BatchSize: batch})
+		for _, c := range children {
+			c.Wait()
+		}
+	}()
+
+	storeProc, storeAddr, err := fork("store")
+	if err != nil {
+		return err
+	}
+	children = append(children, storeProc)
+	fmt.Printf("objstored pid %d on %s\n", storeProc.Process.Pid, storeAddr)
+
+	addrs := make([]string, shards)
+	for s := 0; s < shards; s++ {
+		proc, addr, err := fork("shard",
+			"FLEET_SHARD="+strconv.Itoa(s),
+			"FLEET_SHARDS="+strconv.Itoa(shards),
+			"FLEET_STORE="+storeAddr,
+		)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		man, err := coord.Write(ctx, snap)
+		children = append(children, proc)
+		addrs[s] = addr
+		fmt.Printf("shardd %d pid %d on %s\n", s, proc.Process.Pid, addr)
+	}
+
+	store, err := objstore.Dial(storeAddr, objstore.ClientConfig{})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	c, err := ctrl.NewController(ctrl.ControllerConfig{
+		JobID: fleetJob, Store: store, Agents: addrs,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var lastStep uint64
+	for round := 1; round <= 3; round++ {
+		step := uint64(round) * 8
+		man, err := c.Checkpoint(ctx, step)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
+		lastStep = man.Step
 		fmt.Printf("ckpt %d: %-11s %d shards, %6d bytes payload, step %d\n",
 			man.ID, man.Kind, man.ShardCount, man.PayloadBytes, man.Step)
 	}
 
-	// Crash-restore on a fresh model: shards restore in parallel.
-	rest, err := ckpt.NewRestorer("fleet-sharded", store)
+	// Crash-restore on a fresh model in the controller process, then
+	// verify against a local replica trained to the same step: the
+	// processes really did train (and checkpoint) the same fleet.
+	mcfg, spec := shardhost.ReplicaConfig(fleetSeed, fleetRows, fleetDim)
+	m2, err := model.New(mcfg, shards)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	m2, err := model.New(model.DefaultConfig(), nodes)
+	rest, err := ckpt.NewRestorer(fleetJob, store)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res, err := rest.RestoreLatest(ctx, m2)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("restored ckpt %d: %d rows across %d shards, %d bytes read\n",
 		res.Manifests[0].ID, res.RowsApplied, res.Manifests[0].ShardCount, res.BytesRead)
+	fmt.Printf("reader resumes at sample %d (step %d)\n", res.Reader.NextSample, lastStep)
+
+	ref, err := model.New(mcfg, shards)
+	if err != nil {
+		return err
+	}
+	cl, err := trainer.New(ref, trainer.Config{Nodes: shards})
+	if err != nil {
+		return err
+	}
+	gen, err := data.NewGenerator(spec)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < lastStep; i++ {
+		cl.Step(gen.NextBatch(fleetBatch))
+	}
+	for _, tab := range ref.Sparse.Tables {
+		rt := m2.Sparse.Table(tab.ID)
+		for i := range tab.Weights.Data {
+			if tab.Weights.Data[i] != rt.Weights.Data[i] {
+				return fmt.Errorf("fleet: restored table %d differs from reference replica at weight %d", tab.ID, i)
+			}
+		}
+	}
+	fmt.Printf("restored state is bit-identical to a replica trained to step %d\n", lastStep)
+	return nil
 }

@@ -1,0 +1,133 @@
+// Package bench holds reusable benchmark bodies shared by `go test
+// -bench` and cmd/benchci's JSON artifact emitter, so the CI perf
+// trajectory measures exactly what developers run locally.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/data"
+	"repro/internal/embedding"
+	"repro/internal/model"
+	"repro/internal/objstore"
+)
+
+// Case is one named benchmark body.
+type Case struct {
+	Name string
+	Run  func(b *testing.B)
+}
+
+// benchModelConfig is the fixed workload: three embedding tables, 8K
+// rows total, the scale where coordinator fan-out (not raw serialization
+// volume) dominates.
+func benchModelConfig() model.Config {
+	cfg := model.DefaultConfig()
+	cfg.Tables = []embedding.TableSpec{
+		{Rows: 2048, Dim: 16}, {Rows: 2048, Dim: 16}, {Rows: 4096, Dim: 16},
+	}
+	return cfg
+}
+
+func benchDataSpec() data.Spec {
+	spec := data.DefaultSpec()
+	spec.TableRows = []int{2048, 2048, 4096}
+	return spec
+}
+
+// setup trains a small model and returns snapshots for a full baseline
+// and a subsequent incremental interval.
+func setup(b *testing.B) (fullSnap, incSnap *ckpt.Snapshot) {
+	b.Helper()
+	m, err := model.New(benchModelConfig(), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := data.NewGenerator(benchDataSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 64
+	for i := 0; i < 4; i++ {
+		m.TrainBatch(gen.NextBatch(batch))
+	}
+	fullSnap, err = ckpt.TakeSnapshot(m, 4, data.ReaderState{NextSample: gen.Pos(), BatchSize: batch})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		m.TrainBatch(gen.NextBatch(batch))
+	}
+	incSnap, err = ckpt.TakeSnapshot(m, 6, data.ReaderState{NextSample: gen.Pos(), BatchSize: batch})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fullSnap, incSnap
+}
+
+// coordinatorWrite benchmarks composite commits at the given shard
+// count. Each iteration is one full two-phase commit (prepare across
+// shards, publish, composite manifest); with incremental set, a full
+// baseline is laid down untimed and the timed writes are incrementals.
+func coordinatorWrite(shards int, incremental bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		fullSnap, incSnap := setup(b)
+		policy := ckpt.PolicyFull
+		if incremental {
+			policy = ckpt.PolicyOneShot
+		}
+		coord, err := ckpt.NewCoordinator(ckpt.CoordinatorConfig{
+			Config: ckpt.Config{
+				JobID:  "bench",
+				Store:  objstore.NewMemStore(objstore.MemConfig{}),
+				Policy: policy,
+				// Bound store growth across iterations.
+				KeepLast: 2,
+			},
+			Shards: shards,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		snap := fullSnap
+		if incremental {
+			if _, err := coord.Write(ctx, fullSnap); err != nil {
+				b.Fatal(err)
+			}
+			snap = incSnap
+		}
+		b.ResetTimer()
+		var payload int64
+		for i := 0; i < b.N; i++ {
+			man, err := coord.Write(ctx, snap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload = man.PayloadBytes
+		}
+		b.SetBytes(payload)
+		b.ReportMetric(float64(payload), "payload_bytes/op")
+	}
+}
+
+// CoordinatorCases enumerates the coordinator write benchmarks: full
+// composite commits across shard counts, plus the incremental
+// steady-state at the widest fan-out.
+func CoordinatorCases() []Case {
+	var cases []Case
+	for _, shards := range []int{1, 2, 4, 8} {
+		cases = append(cases, Case{
+			Name: fmt.Sprintf("full_shards=%d", shards),
+			Run:  coordinatorWrite(shards, false),
+		})
+	}
+	cases = append(cases, Case{
+		Name: "incremental_shards=4",
+		Run:  coordinatorWrite(4, true),
+	})
+	return cases
+}

@@ -1,0 +1,12 @@
+package bench
+
+import "testing"
+
+// BenchmarkCoordinator runs every coordinator case; CI's bench job runs
+// `go test -bench=Coordinator -benchtime=1x` as a smoke pass and
+// cmd/benchci re-runs the same bodies for the JSON artifact.
+func BenchmarkCoordinator(b *testing.B) {
+	for _, c := range CoordinatorCases() {
+		b.Run(c.Name, c.Run)
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"sort"
 	"sync"
 
-	"repro/internal/bitvec"
 	"repro/internal/embedding"
 	"repro/internal/wire"
 )
@@ -35,11 +34,16 @@ type CoordinatorConfig struct {
 // shard's objects are durable: a two-phase commit in which a crashed
 // shard can never leave a restorable-looking checkpoint behind.
 //
+// The shards are driven through the ShardRunner interface; this type
+// always builds in-process LocalRunners, while ctrl.Controller drives
+// the identical commit sequence over RemoteRunners talking to shardd
+// agent processes.
+//
 // Like Engine, methods are not safe for concurrent use — checkpoints of
 // one job never overlap. The concurrency is inside one Write.
 type Coordinator struct {
-	cfg    CoordinatorConfig
-	shards []*Engine
+	cfg     CoordinatorConfig
+	runners []ShardRunner
 	// assign is the table -> shard ownership map, fixed at first Write
 	// (seeded from cfg.Assignment) so per-shard incremental chains stay
 	// self-contained across the job's lifetime.
@@ -78,7 +82,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.shards = append(c.shards, eng)
+		c.runners = append(c.runners, NewLocalRunner(s, eng))
 	}
 	return c, nil
 }
@@ -141,26 +145,12 @@ func (c *Coordinator) extendAssignment(snap *Snapshot) {
 	}
 }
 
-// subSnapshot carves shard s's view out of snap: its owned tables and
-// their modified bitmaps. Tables are shared, not copied — the snapshot
-// already owns its memory exclusively and shards own disjoint subsets.
-// Dense state is nil: the coordinator stores the replicated MLP state
-// once at the composite level.
+// subSnapshot carves shard s's view out of snap. Dense state is nil:
+// the coordinator stores the replicated MLP state once at the composite
+// level.
 func (c *Coordinator) subSnapshot(snap *Snapshot, s int) *Snapshot {
-	sub := &Snapshot{
-		Step:     snap.Step,
-		Reader:   snap.Reader,
-		Modified: make(map[int]*bitvec.Bitmap),
-	}
-	for _, tab := range snap.Tables {
-		if c.assign[tab.ID] != s {
-			continue
-		}
-		sub.Tables = append(sub.Tables, tab)
-		if bm, ok := snap.Modified[tab.ID]; ok {
-			sub.Modified[tab.ID] = bm
-		}
-	}
+	sub := SubSnapshot(snap, c.assign, s)
+	sub.Dense = nil
 	return sub
 }
 
@@ -198,7 +188,10 @@ func forEachShard(n int, fn func(s int) error) error {
 //
 // Any failure before step 3's composite put aborts every shard,
 // deleting all objects of the attempt; no engine state changes, so a
-// retry reuses the same ID.
+// retry reuses the same ID. Rollback runs under a cancellation-immune
+// context: if ctx is cancelled mid-commit, every shard is still
+// aborted, and the returned error is ctx.Err() rather than whichever
+// partial-write error the cancellation happened to surface first.
 func (c *Coordinator) Write(ctx context.Context, snap *Snapshot) (*wire.Manifest, error) {
 	if snap == nil {
 		return nil, fmt.Errorf("ckpt: nil snapshot")
@@ -206,27 +199,21 @@ func (c *Coordinator) Write(ctx context.Context, snap *Snapshot) (*wire.Manifest
 	c.extendAssignment(snap)
 	id := c.nextID
 
-	// Phase 1: concurrent per-shard prepare.
-	prepared := make([]*Prepared, c.cfg.Shards)
-	abort := func() {
-		for _, p := range prepared {
-			if p != nil {
-				p.Abort(ctx)
-			}
+	fail := func(err error) (*wire.Manifest, error) {
+		AbortShards(ctx, c.runners, id)
+		_ = c.cfg.Store.Delete(context.WithoutCancel(ctx), wire.DenseKey(c.cfg.JobID, id))
+		if ce := ctx.Err(); ce != nil {
+			return nil, ce
 		}
-		_ = c.cfg.Store.Delete(ctx, wire.DenseKey(c.cfg.JobID, id))
+		return nil, err
 	}
-	err := forEachShard(c.cfg.Shards, func(s int) error {
-		p, err := c.shards[s].Prepare(ctx, c.subSnapshot(snap, s))
-		if err != nil {
-			return fmt.Errorf("ckpt: shard %d: %w", s, err)
-		}
-		prepared[s] = p
-		return nil
+
+	// Phase 1: concurrent per-shard prepare.
+	shardMans, err := PrepareShards(ctx, c.runners, id, snap.Step, func(s int) *Snapshot {
+		return c.subSnapshot(snap, s)
 	})
 	if err != nil {
-		abort()
-		return nil, err
+		return fail(err)
 	}
 
 	// Phase 2: publish shard manifests and the composite dense state.
@@ -237,86 +224,31 @@ func (c *Coordinator) Write(ctx context.Context, snap *Snapshot) (*wire.Manifest
 	if snap.Dense != nil {
 		denseKey = wire.DenseKey(c.cfg.JobID, id)
 		if err := c.cfg.Store.Put(ctx, denseKey, snap.Dense); err != nil {
-			abort()
-			return nil, fmt.Errorf("ckpt: dense state: %w", err)
+			return fail(fmt.Errorf("ckpt: dense state: %w", err))
 		}
 	}
-	err = forEachShard(c.cfg.Shards, func(s int) error {
-		if err := prepared[s].Publish(ctx); err != nil {
-			return fmt.Errorf("ckpt: shard %d: %w", s, err)
-		}
-		return nil
-	})
-	if err != nil {
-		abort()
-		return nil, err
+	if err := PublishShards(ctx, c.runners, id); err != nil {
+		return fail(err)
 	}
 
 	// Phase 3: commit. The composite manifest's presence is the commit
 	// point; after it lands, finalizing shard state cannot fail.
-	man := c.compositeManifest(id, snap, prepared, denseKey)
+	man := BuildComposite(c.cfg.JobID, id, snap.Step, snap.Reader, shardMans,
+		c.Assignment(), denseKey, int64(len(snap.Dense)))
 	manBlob, err := wire.EncodeManifest(man)
 	if err != nil {
-		abort()
-		return nil, fmt.Errorf("ckpt: encode composite manifest: %w", err)
+		return fail(fmt.Errorf("ckpt: encode composite manifest: %w", err))
 	}
 	if err := c.cfg.Store.Put(ctx, wire.ManifestKey(c.cfg.JobID, id), manBlob); err != nil {
-		abort()
-		return nil, fmt.Errorf("ckpt: store composite manifest: %w", err)
+		return fail(fmt.Errorf("ckpt: store composite manifest: %w", err))
 	}
-	for _, p := range prepared {
-		p.Finalize(ctx)
-	}
+	_ = FinalizeShards(context.WithoutCancel(ctx), c.runners, id)
 	c.manifests[id] = man
 	c.nextID++
 	if c.cfg.KeepLast > 0 {
 		c.gc(ctx)
 	}
 	return man, nil
-}
-
-// compositeManifest assembles the top-level manifest from the prepared
-// shard checkpoints. Kind is "full" only if every shard wrote a full
-// baseline this round (shards running the intermittent policy may take
-// baselines at different times). Tables aggregates the shard table
-// manifests for inspection — with ChunkKeys left nil, because the
-// restorable chunk references live in the shard manifests.
-func (c *Coordinator) compositeManifest(id int, snap *Snapshot, prepared []*Prepared, denseKey string) *wire.Manifest {
-	man := &wire.Manifest{
-		FormatVersion:    wire.CurrentFormatVersion,
-		JobID:            c.cfg.JobID,
-		ID:               id,
-		Kind:             wire.KindFull.String(),
-		BaseID:           -1,
-		ParentID:         id - 1,
-		Step:             snap.Step,
-		ReaderNextSample: snap.Reader.NextSample,
-		ReaderBatchSize:  snap.Reader.BatchSize,
-		DenseKey:         denseKey,
-		PayloadBytes:     int64(len(snap.Dense)),
-		ShardCount:       c.cfg.Shards,
-		TableShards:      c.Assignment(),
-	}
-	allFull := true
-	for s, p := range prepared {
-		sm := p.Manifest()
-		man.Quant = sm.Quant
-		man.PayloadBytes += sm.PayloadBytes
-		man.ShardManifestKeys = append(man.ShardManifestKeys,
-			wire.ManifestKey(wire.ShardJobID(c.cfg.JobID, s), id))
-		if sm.Kind != wire.KindFull.String() {
-			allFull = false
-		}
-		for _, tm := range sm.Tables {
-			tm.ChunkKeys = nil
-			man.Tables = append(man.Tables, tm)
-		}
-	}
-	if !allFull {
-		man.Kind = wire.KindIncremental.String()
-	}
-	sort.Slice(man.Tables, func(a, b int) bool { return man.Tables[a].TableID < man.Tables[b].TableID })
-	return man
 }
 
 // gc deletes composite-level objects (manifest + dense) of checkpoints

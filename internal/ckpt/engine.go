@@ -207,10 +207,11 @@ func (e *Engine) Prepare(ctx context.Context, snap *Snapshot) (*Prepared, error)
 		rows := e.rowsToStore(tab, dec, snap)
 		tm, bytes, err := e.writeTable(ctx, id, tab, rows)
 		if err != nil {
-			// Abort: best-effort cleanup of partial objects; the
-			// manifest was never written so the checkpoint is invalid
-			// either way.
-			e.cleanup(ctx, id)
+			// Abort: best-effort cleanup of partial objects (immune to
+			// ctx cancellation — the failure may BE the cancellation);
+			// the manifest was never written so the checkpoint is
+			// invalid either way.
+			e.cleanup(context.WithoutCancel(ctx), id)
 			return nil, err
 		}
 		payloadBytes += bytes
@@ -220,7 +221,7 @@ func (e *Engine) Prepare(ctx context.Context, snap *Snapshot) (*Prepared, error)
 
 	if man.DenseKey != "" {
 		if err := e.cfg.Store.Put(ctx, man.DenseKey, snap.Dense); err != nil {
-			e.cleanup(ctx, id)
+			e.cleanup(context.WithoutCancel(ctx), id)
 			return nil, fmt.Errorf("ckpt: dense state: %w", err)
 		}
 		payloadBytes += int64(len(snap.Dense))
@@ -285,13 +286,15 @@ func (p *Prepared) Finalize(ctx context.Context) *wire.Manifest {
 
 // Abort deletes every object the prepared checkpoint stored (including
 // a manifest from a failed Publish round). Engine state was never
-// touched, so the next Prepare reuses the same ID.
+// touched, so the next Prepare reuses the same ID. Cleanup runs under a
+// cancellation-immune context: aborts triggered by a cancelled parent
+// context must still delete the attempt's objects.
 func (p *Prepared) Abort(ctx context.Context) {
 	if p.done {
 		return
 	}
 	p.done = true
-	p.eng.cleanup(ctx, p.man.ID)
+	p.eng.cleanup(context.WithoutCancel(ctx), p.man.ID)
 }
 
 // rowsToStore returns the sorted row indices of tab to serialize under dec.

@@ -1,0 +1,163 @@
+package ckpt
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/objstore"
+	"repro/internal/wire"
+)
+
+// SweepReport describes what an orphan sweep found.
+type SweepReport struct {
+	// Scanned is the number of objects examined (composite and shard
+	// scopes combined).
+	Scanned int
+	// Referenced is the number of objects reachable from some surviving
+	// manifest chain.
+	Referenced int
+	// Orphans lists the unreferenced keys, sorted. With DryRun they are
+	// only reported; otherwise they were deleted.
+	Orphans []string
+	// Notes records manifests whose chains could not be fully resolved;
+	// their scopes are conservatively kept, never swept.
+	Notes []string
+}
+
+// SweepOrphans is the composite-aware retention sweep behind `ckptctl
+// gc`: it deletes every `<job>/shard/<s>/...` (and composite-scope)
+// object not referenced by any surviving manifest chain — the debris of
+// jobs that died between prepare and commit, of agents that crashed
+// after uploading part of an attempt, and of aborts that never reached
+// a partitioned shard.
+//
+// Reachability is chain closure, not per-ID existence: a shard
+// checkpoint whose composite manifest was retention-expired is still
+// referenced while a surviving incremental's chain passes through it
+// (the coordinator GCs composite manifests independently of the shard
+// engines' dependency-aware retention). A manifest whose chain cannot
+// be resolved marks its scope conservatively kept.
+//
+// The sweep must only run while the job is quiescent — like `ckptctl
+// delete`, it cannot distinguish a dead job's debris from a commit in
+// flight.
+func SweepOrphans(ctx context.Context, jobID string, store objstore.Store, dryRun bool) (*SweepReport, error) {
+	rest, err := NewRestorer(jobID, store)
+	if err != nil {
+		return nil, err
+	}
+	tops, err := rest.ListManifests(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	refs := make(map[string]bool)
+	var keepPrefixes []string
+	report := &SweepReport{}
+
+	refManifest := func(scopeJob string, m *wire.Manifest) {
+		refs[wire.ManifestKey(scopeJob, m.ID)] = true
+		if m.DenseKey != "" {
+			refs[m.DenseKey] = true
+		}
+		for _, tm := range m.Tables {
+			for _, k := range tm.ChunkKeys {
+				refs[k] = true
+			}
+		}
+	}
+
+	// Shard manifest listings are loaded once per shard, not once per
+	// composite x shard: chain resolution works from the cached list.
+	shardLists := make(map[int][]*wire.Manifest)
+	shardListErr := make(map[int]error)
+	shardManifests := func(s int) ([]*wire.Manifest, error) {
+		if ms, ok := shardLists[s]; ok {
+			return ms, shardListErr[s]
+		}
+		sub, err := rest.shardRestorer(s)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := sub.ListManifests(ctx)
+		shardLists[s], shardListErr[s] = ms, err
+		return ms, err
+	}
+
+	for _, man := range tops {
+		refManifest(jobID, man)
+		if !man.Composite() {
+			chain, err := chainFrom(tops, man.ID)
+			if err != nil {
+				report.Notes = append(report.Notes,
+					fmt.Sprintf("checkpoint %d: unresolvable chain (%v); its objects kept", man.ID, err))
+				continue
+			}
+			for _, link := range chain {
+				refManifest(jobID, link)
+			}
+			continue
+		}
+		for s := 0; s < man.ShardCount; s++ {
+			shardJob := wire.ShardJobID(jobID, s)
+			keepShard := func(err error) {
+				keepPrefixes = append(keepPrefixes, shardJob+"/")
+				report.Notes = append(report.Notes,
+					fmt.Sprintf("checkpoint %d shard %d: unresolvable chain (%v); shard scope kept", man.ID, s, err))
+			}
+			ms, err := shardManifests(s)
+			if err != nil {
+				keepShard(err)
+				continue
+			}
+			chain, err := chainFrom(ms, man.ID)
+			if err != nil {
+				keepShard(err)
+				continue
+			}
+			for _, link := range chain {
+				refManifest(shardJob, link)
+			}
+		}
+	}
+
+	var all []string
+	for _, prefix := range []string{wire.JobPrefix(jobID), wire.ShardScopePrefix(jobID)} {
+		keys, err := store.List(ctx, prefix)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: list %s: %w", prefix, err)
+		}
+		all = append(all, keys...)
+	}
+
+	kept := func(key string) bool {
+		if refs[key] {
+			return true
+		}
+		for _, p := range keepPrefixes {
+			if strings.HasPrefix(key, p) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, key := range all {
+		report.Scanned++
+		if kept(key) {
+			report.Referenced++
+			continue
+		}
+		report.Orphans = append(report.Orphans, key)
+	}
+	sort.Strings(report.Orphans)
+	if !dryRun {
+		for _, key := range report.Orphans {
+			if err := store.Delete(ctx, key); err != nil {
+				return report, fmt.Errorf("ckpt: delete %s: %w", key, err)
+			}
+		}
+	}
+	return report, nil
+}

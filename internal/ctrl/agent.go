@@ -1,0 +1,416 @@
+package ctrl
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/ckpt"
+	"repro/internal/wire"
+)
+
+// SnapshotSource produces the shard's local snapshot for a prepare: the
+// agent's hosted trainer advances its replica to exactly the named
+// global step and returns an atomic copy of the tables this shard owns
+// (dense state included; the agent decides whether to store it).
+type SnapshotSource func(ctx context.Context, step uint64) (*ckpt.Snapshot, error)
+
+// AgentConfig configures a shard agent.
+type AgentConfig struct {
+	// JobID is the composite job this shard belongs to.
+	JobID string
+	// Shard is this agent's shard index; Shards the job's total count.
+	Shard  int
+	Shards int
+	// Engine is the template the shard's engine is built from. Store
+	// must be set (the agent's data plane); JobID is rewritten to the
+	// shard scope.
+	Engine ckpt.Config
+	// Source supplies prepare-time snapshots.
+	Source SnapshotSource
+	// Logf receives diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Agent hosts one shard's checkpoint engine and executes control-plane
+// commands against it. All commands serialize on one mutex — checkpoint
+// phases of one shard never overlap, mirroring Engine's contract.
+type Agent struct {
+	cfg  AgentConfig
+	eng  *ckpt.Engine
+	logf func(format string, args ...any)
+
+	mu    sync.Mutex
+	epoch uint64
+	// pending is the in-flight prepared attempt, nil if none.
+	pending   *ckpt.Prepared
+	pendingID int
+	// pendingDense is the composite-level dense object this attempt
+	// stored (WantDense), deleted again on abort.
+	pendingDense string
+}
+
+// NewAgent validates cfg and builds the shard engine.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.JobID == "" {
+		return nil, fmt.Errorf("ctrl: empty job ID")
+	}
+	if cfg.Shard < 0 || cfg.Shards < 1 || cfg.Shard >= cfg.Shards {
+		return nil, fmt.Errorf("ctrl: shard %d of %d out of range", cfg.Shard, cfg.Shards)
+	}
+	if cfg.Engine.Store == nil {
+		return nil, fmt.Errorf("ctrl: nil store")
+	}
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("ctrl: nil snapshot source")
+	}
+	ecfg := cfg.Engine
+	ecfg.JobID = wire.ShardJobID(cfg.JobID, cfg.Shard)
+	eng, err := ckpt.NewEngine(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Agent{cfg: cfg, eng: eng, logf: logf}, nil
+}
+
+// Engine returns the agent's shard engine (tests and hosting glue).
+func (a *Agent) Engine() *ckpt.Engine { return a.eng }
+
+// fencedf formats a fencing rejection.
+func fencedf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrFenced, fmt.Sprintf(format, args...))
+}
+
+// admitLocked applies epoch fencing for a mutating request. Requests
+// from older epochs are rejected; a newer epoch is adopted, and any
+// attempt the superseded controller left in flight is rolled back.
+func (a *Agent) admitLocked(epoch uint64) error {
+	if epoch < a.epoch {
+		return fencedf("epoch %d superseded by %d", epoch, a.epoch)
+	}
+	if epoch > a.epoch {
+		a.logf("ctrl agent %d: adopting epoch %d (was %d)", a.cfg.Shard, epoch, a.epoch)
+		a.epoch = epoch
+		a.abortPendingLocked()
+	}
+	return nil
+}
+
+// abortPendingLocked rolls back the in-flight attempt, if any.
+func (a *Agent) abortPendingLocked() {
+	if a.pending == nil {
+		return
+	}
+	ctx := context.Background()
+	a.logf("ctrl agent %d: aborting in-flight checkpoint %d", a.cfg.Shard, a.pendingID)
+	a.pending.Abort(ctx)
+	if a.pendingDense != "" {
+		_ = a.cfg.Engine.Store.Delete(ctx, a.pendingDense)
+	}
+	a.pending, a.pendingDense = nil, ""
+}
+
+// Prepare executes the prepare phase: snapshot the hosted shard state
+// at args.Step and durably upload the checkpoint payload, publishing
+// nothing. Fenced unless args.CkptID is exactly the engine's next ID
+// and no attempt is in flight.
+func (a *Agent) Prepare(ctx context.Context, epoch uint64, args *PrepareArgs) (*PrepareReply, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.admitLocked(epoch); err != nil {
+		return nil, err
+	}
+	if args.JobID != a.cfg.JobID {
+		return nil, fmt.Errorf("ctrl: agent hosts job %q, not %q", a.cfg.JobID, args.JobID)
+	}
+	if a.pending != nil {
+		return nil, fencedf("checkpoint %d already in flight", a.pendingID)
+	}
+	if next := a.eng.NextID(); args.CkptID != next {
+		return nil, fencedf("prepare id %d, engine at %d", args.CkptID, next)
+	}
+	snap, err := a.cfg.Source(ctx, args.Step)
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: snapshot at step %d: %w", args.Step, err)
+	}
+	reply := &PrepareReply{}
+	if args.WantDense && snap.Dense != nil {
+		reply.DenseKey = wire.DenseKey(a.cfg.JobID, args.CkptID)
+		reply.DenseBytes = int64(len(snap.Dense))
+		if err := a.cfg.Engine.Store.Put(ctx, reply.DenseKey, snap.Dense); err != nil {
+			return nil, fmt.Errorf("ctrl: dense state: %w", err)
+		}
+	}
+	// Shard engines never store dense state under the shard scope; the
+	// composite manifest owns the single replicated copy.
+	snap.Dense = nil
+	p, err := a.eng.Prepare(ctx, snap)
+	if err != nil {
+		if reply.DenseKey != "" {
+			_ = a.cfg.Engine.Store.Delete(context.WithoutCancel(ctx), reply.DenseKey)
+		}
+		return nil, err
+	}
+	a.pending, a.pendingID, a.pendingDense = p, args.CkptID, reply.DenseKey
+	reply.Manifest = p.Manifest()
+	return reply, nil
+}
+
+// checkPendingLocked fences phase commands against the in-flight attempt.
+func (a *Agent) checkPendingLocked(args *CommitArgs) error {
+	if args.JobID != a.cfg.JobID {
+		return fmt.Errorf("ctrl: agent hosts job %q, not %q", a.cfg.JobID, args.JobID)
+	}
+	if a.pending == nil {
+		return fencedf("no prepared checkpoint")
+	}
+	if a.pendingID != args.CkptID {
+		return fencedf("prepared checkpoint is %d, not %d", a.pendingID, args.CkptID)
+	}
+	return nil
+}
+
+// Publish stores the prepared shard manifest.
+func (a *Agent) Publish(ctx context.Context, epoch uint64, args *CommitArgs) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.admitLocked(epoch); err != nil {
+		return err
+	}
+	if err := a.checkPendingLocked(args); err != nil {
+		return err
+	}
+	return a.pending.Publish(ctx)
+}
+
+// Finalize commits the shard engine's state. The controller calls this
+// only after the composite manifest — the commit point — is durable.
+func (a *Agent) Finalize(ctx context.Context, epoch uint64, args *CommitArgs) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.admitLocked(epoch); err != nil {
+		return err
+	}
+	if err := a.checkPendingLocked(args); err != nil {
+		return err
+	}
+	a.pending.Finalize(ctx)
+	a.pending, a.pendingDense = nil, ""
+	return nil
+}
+
+// Abort rolls back the in-flight attempt. Aborting with nothing
+// prepared (or a different ID than expected) succeeds as a no-op: the
+// controller blanket-aborts every shard after a partial failure, and
+// shards that never prepared must not turn that into an error.
+func (a *Agent) Abort(ctx context.Context, epoch uint64, args *CommitArgs) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.admitLocked(epoch); err != nil {
+		return err
+	}
+	if args.JobID != a.cfg.JobID {
+		return fmt.Errorf("ctrl: agent hosts job %q, not %q", a.cfg.JobID, args.JobID)
+	}
+	a.abortPendingLocked()
+	return nil
+}
+
+// Status reports the agent's identity and engine position. Read-only:
+// no epoch fencing, so monitoring never perturbs commit state.
+func (a *Agent) Status() *StatusReply {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	prepared := -1
+	if a.pending != nil {
+		prepared = a.pendingID
+	}
+	return &StatusReply{
+		JobID:      a.cfg.JobID,
+		Shard:      a.cfg.Shard,
+		Shards:     a.cfg.Shards,
+		Epoch:      a.epoch,
+		NextID:     a.eng.NextID(),
+		PreparedID: prepared,
+	}
+}
+
+// Close rolls back any in-flight attempt.
+func (a *Agent) Close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.abortPendingLocked()
+}
+
+// AgentServer serves an Agent's control protocol over TCP, one
+// goroutine per connection, mirroring objstore.Server.
+type AgentServer struct {
+	agent *Agent
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewAgentServer starts serving agent on addr (e.g. "127.0.0.1:0").
+func NewAgentServer(addr string, agent *Agent) (*AgentServer, error) {
+	if agent == nil {
+		return nil, fmt.Errorf("ctrl: nil agent")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: listen: %w", err)
+	}
+	s := &AgentServer{agent: agent, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listener address.
+func (s *AgentServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *AgentServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if !s.isClosed() {
+				s.agent.logf("ctrl agent %d: accept: %v", s.agent.cfg.Shard, err)
+			}
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *AgentServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		req, err := readRequest(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !s.isClosed() {
+				s.agent.logf("ctrl agent %d: read: %v", s.agent.cfg.Shard, err)
+			}
+			return
+		}
+		if err := s.handle(bw, req); err != nil {
+			s.agent.logf("ctrl agent %d: write: %v", s.agent.cfg.Shard, err)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one request and writes its response. Fencing
+// rejections map to statusFenced so the client can distinguish them
+// from transport and execution errors.
+func (s *AgentServer) handle(w io.Writer, req *request) error {
+	ctx := context.Background()
+	a := s.agent
+	respondErr := func(err error) error {
+		status := uint8(statusError)
+		if errors.Is(err, ErrFenced) {
+			status = statusFenced
+		}
+		return writeResponse(w, status, []byte(err.Error()))
+	}
+	respondJSON := func(v any) error {
+		payload, err := json.Marshal(v)
+		if err != nil {
+			return respondErr(fmt.Errorf("ctrl: encode reply: %w", err))
+		}
+		return writeResponse(w, statusOK, payload)
+	}
+	switch req.op {
+	case opPrepare:
+		var args PrepareArgs
+		if err := json.Unmarshal(req.body, &args); err != nil {
+			return respondErr(fmt.Errorf("ctrl: decode prepare: %w", err))
+		}
+		reply, err := a.Prepare(ctx, req.epoch, &args)
+		if err != nil {
+			return respondErr(err)
+		}
+		return respondJSON(reply)
+	case opPublish, opFinalize, opAbort:
+		var args CommitArgs
+		if err := json.Unmarshal(req.body, &args); err != nil {
+			return respondErr(fmt.Errorf("ctrl: decode commit args: %w", err))
+		}
+		var err error
+		switch req.op {
+		case opPublish:
+			err = a.Publish(ctx, req.epoch, &args)
+		case opFinalize:
+			err = a.Finalize(ctx, req.epoch, &args)
+		case opAbort:
+			err = a.Abort(ctx, req.epoch, &args)
+		}
+		if err != nil {
+			return respondErr(err)
+		}
+		return writeResponse(w, statusOK, nil)
+	case opStatus:
+		return respondJSON(a.Status())
+	default:
+		return respondErr(fmt.Errorf("ctrl: unknown op %d", req.op))
+	}
+}
+
+func (s *AgentServer) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close stops accepting, closes live connections, and waits for handler
+// goroutines. The agent itself (and its in-flight attempt) is left
+// untouched — a killed server emulates a partitioned agent, and its
+// debris must be handled by the controller's abort and gc, not by a
+// graceful rollback.
+func (s *AgentServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,164 @@
+package ctrl
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client speaks the control protocol to one shard agent. Control
+// traffic is low-rate and strictly serialized per shard, so a single
+// connection (redialed transparently after transport errors) suffices —
+// unlike the data plane's pooled objstore.Client.
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	closed bool
+}
+
+// ClientConfig configures DialAgent.
+type ClientConfig struct {
+	// DialTimeout bounds connection establishment; zero means 5s.
+	DialTimeout time.Duration
+}
+
+// DialAgent connects to an agent at addr and verifies reachability with
+// a Status probe.
+func DialAgent(addr string, cfg ClientConfig) (*Client, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	c := &Client{addr: addr, timeout: cfg.DialTimeout}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.DialTimeout)
+	defer cancel()
+	if _, err := c.Status(ctx); err != nil {
+		return nil, fmt.Errorf("ctrl: dial probe %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+// Addr returns the agent address this client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// call performs one request/response round trip. Transport errors drop
+// the connection so the next call redials; protocol-level failures
+// (fenced, error status) keep it.
+func (c *Client) call(ctx context.Context, op uint8, epoch uint64, args any, reply any) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var body []byte
+	if args != nil {
+		var err error
+		if body, err = json.Marshal(args); err != nil {
+			return fmt.Errorf("ctrl: encode request: %w", err)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("ctrl: client closed")
+	}
+	if c.conn == nil {
+		conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+		if err != nil {
+			return fmt.Errorf("ctrl: dial %s: %w", c.addr, err)
+		}
+		c.conn = conn
+		c.br = bufio.NewReaderSize(conn, 64<<10)
+		c.bw = bufio.NewWriterSize(conn, 64<<10)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(dl)
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+	drop := func(err error) error {
+		c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	if err := writeRequest(c.bw, &request{op: op, epoch: epoch, body: body}); err != nil {
+		return drop(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return drop(err)
+	}
+	status, payload, err := readResponse(c.br)
+	if err != nil {
+		return drop(err)
+	}
+	switch status {
+	case statusOK:
+		if reply != nil && len(payload) > 0 {
+			if err := json.Unmarshal(payload, reply); err != nil {
+				return fmt.Errorf("ctrl: decode reply: %w", err)
+			}
+		}
+		return nil
+	case statusFenced:
+		return fmt.Errorf("%w: agent %s: %s", ErrFenced, c.addr, payload)
+	default:
+		return fmt.Errorf("ctrl: agent %s: %s", c.addr, payload)
+	}
+}
+
+// Status fetches the agent's discovery/monitoring report.
+func (c *Client) Status(ctx context.Context) (*StatusReply, error) {
+	var reply StatusReply
+	if err := c.call(ctx, opStatus, 0, nil, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Prepare drives the agent's prepare phase.
+func (c *Client) Prepare(ctx context.Context, epoch uint64, args *PrepareArgs) (*PrepareReply, error) {
+	var reply PrepareReply
+	if err := c.call(ctx, opPrepare, epoch, args, &reply); err != nil {
+		return nil, err
+	}
+	if reply.Manifest == nil {
+		return nil, fmt.Errorf("ctrl: agent %s returned no manifest", c.addr)
+	}
+	return &reply, nil
+}
+
+// Publish drives the agent's publish phase.
+func (c *Client) Publish(ctx context.Context, epoch uint64, jobID string, id int) error {
+	return c.call(ctx, opPublish, epoch, &CommitArgs{JobID: jobID, CkptID: id}, nil)
+}
+
+// Finalize commits the agent's shard state after the composite commit.
+func (c *Client) Finalize(ctx context.Context, epoch uint64, jobID string, id int) error {
+	return c.call(ctx, opFinalize, epoch, &CommitArgs{JobID: jobID, CkptID: id}, nil)
+}
+
+// Abort rolls back the agent's in-flight attempt.
+func (c *Client) Abort(ctx context.Context, epoch uint64, jobID string, id int) error {
+	return c.call(ctx, opAbort, epoch, &CommitArgs{JobID: jobID, CkptID: id}, nil)
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package ctrl
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/data"
+	"repro/internal/objstore"
+	"repro/internal/wire"
+)
+
+// ControllerConfig configures a Controller.
+type ControllerConfig struct {
+	// JobID is the composite job.
+	JobID string
+	// Store is the controller's own object-store connection, used for
+	// the composite-manifest commit and composite-level GC.
+	Store objstore.Store
+	// Agents lists shard-agent addresses in any order; discovery maps
+	// them to shard indices via Status.
+	Agents []string
+	// Epoch is this controller's job epoch. It must exceed any previous
+	// controller's; zero auto-adopts max(agent epochs) + 1.
+	Epoch uint64
+	// KeepLast bounds retained composite checkpoints (composite manifest
+	// + dense objects; shard-level retention is each agent engine's
+	// KeepLast). Zero keeps everything.
+	KeepLast int
+	// DialTimeout bounds agent connection establishment; zero means 5s.
+	DialTimeout time.Duration
+	// Logf receives diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+
+	// AfterPrepare, when set, runs between the prepare and publish
+	// phases. It is a fault-injection hook (like objstore's
+	// Server.CloseConns): tests kill an agent in this window to prove a
+	// mid-commit crash can never leave a restorable composite.
+	AfterPrepare func()
+}
+
+// Controller owns the composite commit point for a distributed
+// checkpoint fleet: it discovers shard agents, drives the two-phase
+// commit over the control protocol (through the same ckpt.ShardRunner
+// orchestration the in-process Coordinator uses), and alone stores the
+// composite manifest. A crashed or partitioned agent therefore results
+// in Abort — never a restorable-looking composite.
+//
+// Methods are not safe for concurrent use; checkpoints never overlap.
+type Controller struct {
+	cfg     ControllerConfig
+	logf    func(format string, args ...any)
+	epoch   uint64
+	shards  int
+	remotes []*RemoteRunner
+	runners []ckpt.ShardRunner
+	nextID  int
+	// manifests caches committed composite manifests by ID for GC.
+	manifests map[int]*wire.Manifest
+}
+
+// NewController dials and discovers the agent fleet. It validates that
+// the agents cover shards [0, n) exactly once, agree on the job, and
+// agree on the next checkpoint ID (an agent that lost or diverged its
+// engine state fails discovery loudly rather than corrupting a chain).
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	if cfg.JobID == "" {
+		return nil, fmt.Errorf("ctrl: empty job ID")
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("ctrl: nil store")
+	}
+	if len(cfg.Agents) == 0 {
+		return nil, fmt.Errorf("ctrl: no agents")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	c := &Controller{cfg: cfg, logf: logf, manifests: make(map[int]*wire.Manifest)}
+
+	type discovered struct {
+		client *Client
+		status *StatusReply
+	}
+	var found []discovered
+	fail := func(err error) (*Controller, error) {
+		for _, d := range found {
+			d.client.Close()
+		}
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var maxEpoch uint64
+	for _, addr := range cfg.Agents {
+		client, err := DialAgent(addr, ClientConfig{DialTimeout: cfg.DialTimeout})
+		if err != nil {
+			return fail(err)
+		}
+		st, err := client.Status(ctx)
+		if err != nil {
+			client.Close()
+			return fail(fmt.Errorf("ctrl: status %s: %w", addr, err))
+		}
+		found = append(found, discovered{client, st})
+		if st.Epoch > maxEpoch {
+			maxEpoch = st.Epoch
+		}
+	}
+	sort.Slice(found, func(a, b int) bool { return found[a].status.Shard < found[b].status.Shard })
+	n := len(found)
+	c.shards = n
+	c.epoch = cfg.Epoch
+	if c.epoch == 0 {
+		c.epoch = maxEpoch + 1
+	} else if c.epoch <= maxEpoch {
+		// Strictly greater, not equal: an epoch the fleet has already
+		// seen may belong to a live controller, and two same-epoch
+		// controllers could interleave the two-phase commit (neither
+		// fences the other). A restarted controller should use 0 and
+		// let discovery bump past its predecessor.
+		return fail(fmt.Errorf("ctrl: configured epoch %d not above fleet epoch %d", c.epoch, maxEpoch))
+	}
+	for i, d := range found {
+		st := d.status
+		if st.JobID != cfg.JobID {
+			return fail(fmt.Errorf("ctrl: agent %s hosts job %q, want %q", d.client.Addr(), st.JobID, cfg.JobID))
+		}
+		if st.Shards != n {
+			return fail(fmt.Errorf("ctrl: agent %s configured for %d shards, fleet has %d", d.client.Addr(), st.Shards, n))
+		}
+		if st.Shard != i {
+			return fail(fmt.Errorf("ctrl: shard indices not [0,%d): got shard %d from %s", n, st.Shard, d.client.Addr()))
+		}
+		if st.NextID != found[0].status.NextID {
+			return fail(fmt.Errorf("ctrl: agents disagree on next checkpoint: shard %d at %d, shard 0 at %d",
+				st.Shard, st.NextID, found[0].status.NextID))
+		}
+		r := NewRemoteRunner(d.client, cfg.JobID, st.Shard, c.epoch, st.Shard == 0)
+		c.remotes = append(c.remotes, r)
+		c.runners = append(c.runners, r)
+	}
+	c.nextID = found[0].status.NextID
+	logf("ctrl controller: job %s epoch %d, %d shards, next checkpoint %d",
+		cfg.JobID, c.epoch, n, c.nextID)
+	return c, nil
+}
+
+// Shards returns the discovered shard count.
+func (c *Controller) Shards() int { return c.shards }
+
+// Epoch returns the controller's job epoch.
+func (c *Controller) Epoch() uint64 { return c.epoch }
+
+// NextID returns the ID the next composite checkpoint will get.
+func (c *Controller) NextID() int { return c.nextID }
+
+// LatestID returns the newest committed composite's ID, or -1.
+func (c *Controller) LatestID() int { return c.nextID - 1 }
+
+// Checkpoint drives one composite checkpoint at the given global step:
+// every agent advances its replica to the step, snapshots, and uploads
+// (prepare); publishes its shard manifest; then the controller commits
+// the composite manifest and the agents finalize. Any failure before
+// the composite put — a slow shard, a crashed agent, a cancelled
+// context — aborts every shard; a dead agent's debris is unreferenced
+// and left to gc. On cancellation ctx.Err() is surfaced.
+func (c *Controller) Checkpoint(ctx context.Context, step uint64) (*wire.Manifest, error) {
+	id := c.nextID
+	fail := func(err error) (*wire.Manifest, error) {
+		ckpt.AbortShards(ctx, c.runners, id)
+		// The dense-designated agent may be the one that died after its
+		// prepare: best-effort delete directly, too.
+		_ = c.cfg.Store.Delete(context.WithoutCancel(ctx), wire.DenseKey(c.cfg.JobID, id))
+		if ce := ctx.Err(); ce != nil {
+			return nil, ce
+		}
+		return nil, err
+	}
+
+	// Phase 1: prepare. Agents snapshot their own hosted state.
+	shardMans, err := ckpt.PrepareShards(ctx, c.runners, id, step, nil)
+	if err != nil {
+		return fail(err)
+	}
+	// Consistent-cut fencing: every shard must have cut at the same
+	// step. (Agents advance to the requested step; one that cannot —
+	// e.g. a replica already past it — errors in prepare, but a
+	// misconfigured source could silently cut elsewhere.)
+	for s, sm := range shardMans {
+		if sm.Step != step {
+			return fail(fmt.Errorf("ctrl: inconsistent cut: shard %d at step %d, want %d", s, sm.Step, step))
+		}
+	}
+	if c.cfg.AfterPrepare != nil {
+		c.cfg.AfterPrepare()
+	}
+
+	// Phase 2: publish shard manifests. Still invisible to recovery.
+	if err := ckpt.PublishShards(ctx, c.runners, id); err != nil {
+		return fail(err)
+	}
+
+	// Phase 3: commit. The composite manifest's presence is the commit
+	// point; the controller alone writes it.
+	denseKey, denseBytes := c.remotes[0].Dense()
+	assign := make(map[int]int)
+	for s, sm := range shardMans {
+		for _, tm := range sm.Tables {
+			assign[tm.TableID] = s
+		}
+	}
+	reader := data.ReaderState{
+		NextSample: shardMans[0].ReaderNextSample,
+		BatchSize:  shardMans[0].ReaderBatchSize,
+	}
+	man := ckpt.BuildComposite(c.cfg.JobID, id, step, reader, shardMans, assign, denseKey, denseBytes)
+	manBlob, err := wire.EncodeManifest(man)
+	if err != nil {
+		return fail(fmt.Errorf("ctrl: encode composite manifest: %w", err))
+	}
+	if err := c.cfg.Store.Put(ctx, wire.ManifestKey(c.cfg.JobID, id), manBlob); err != nil {
+		return fail(fmt.Errorf("ctrl: store composite manifest: %w", err))
+	}
+
+	// Post-commit: the checkpoint is valid regardless of what happens
+	// next. A finalize RPC lost to a crashed agent leaves that agent's
+	// engine behind — surfaced as a fencing error on the next round,
+	// not silent corruption — so log rather than roll back.
+	if err := ckpt.FinalizeShards(context.WithoutCancel(ctx), c.runners, id); err != nil {
+		c.logf("ctrl controller: finalize after commit of %d: %v", id, err)
+	}
+	c.manifests[id] = man
+	c.nextID++
+	if c.cfg.KeepLast > 0 {
+		c.gc(ctx)
+	}
+	return man, nil
+}
+
+// gc deletes composite-level objects (manifest + dense) of checkpoints
+// beyond KeepLast, mirroring Coordinator.gc: shard-level objects are
+// garbage collected by each agent's engine, which retains whatever its
+// retained increments depend on.
+func (c *Controller) gc(ctx context.Context) {
+	cctx := context.WithoutCancel(ctx)
+	for id, m := range c.manifests {
+		if id > c.nextID-1-c.cfg.KeepLast {
+			continue
+		}
+		_ = c.cfg.Store.Delete(cctx, wire.ManifestKey(c.cfg.JobID, id))
+		if m.DenseKey != "" {
+			_ = c.cfg.Store.Delete(cctx, m.DenseKey)
+		}
+		delete(c.manifests, id)
+	}
+}
+
+// Close closes the agent connections. Agents keep running.
+func (c *Controller) Close() {
+	for _, r := range c.remotes {
+		r.Client().Close()
+	}
+}

@@ -1,0 +1,83 @@
+// Package ctrl is the checkpoint control plane: the framed TCP protocol
+// a controller process uses to drive the two-phase composite commit
+// across shard-agent daemons (cmd/shardd), each of which hosts one
+// shard's ckpt.Engine against the shared object store.
+//
+// Control plane vs. data plane: agents move checkpoint payload directly
+// to the object store (the data plane, internal/objstore's protocol);
+// only small commands and manifests cross this protocol. The controller
+// owns the commit point — it alone stores the composite manifest, and
+// only after every agent has durably prepared and published its part,
+// so a crashed or partitioned agent can never leave a restorable-looking
+// composite behind ("when all nodes finish storing their part ... the
+// controller will declare a new valid checkpoint").
+//
+// Fencing: every mutating request carries the controller's job epoch
+// and the checkpoint ID it names. An agent rejects requests from a
+// stale epoch (a superseded controller), adopts higher epochs — rolling
+// back any attempt the dead controller left in flight — and refuses
+// Prepare for any ID other than its engine's next, so a controller and
+// agent that disagree about history fail loudly instead of corrupting
+// the chain.
+package ctrl
+
+import (
+	"errors"
+
+	"repro/internal/wire"
+)
+
+// ErrFenced marks a request rejected by fencing: a stale epoch, a
+// checkpoint ID the agent's engine is not at, or a phase commandment
+// with no matching prepared attempt.
+var ErrFenced = errors.New("ctrl: fenced")
+
+// PrepareArgs asks an agent to prepare one checkpoint attempt: snapshot
+// its hosted shard state at the named step and durably upload the
+// payload without publishing anything.
+type PrepareArgs struct {
+	// JobID guards against misrouted requests; must match the agent's.
+	JobID string `json:"job_id"`
+	// CkptID is the composite checkpoint sequence number.
+	CkptID int `json:"ckpt_id"`
+	// Step is the global training step of the consistent cut. The agent
+	// advances its replica to exactly this step before snapshotting.
+	Step uint64 `json:"step"`
+	// WantDense asks this agent to also store the replicated MLP state
+	// under the composite dense key. The controller designates exactly
+	// one agent (shard 0) — the paper reads the replicated MLPs "from a
+	// single GPU" — keeping the blob on the data plane.
+	WantDense bool `json:"want_dense,omitempty"`
+}
+
+// PrepareReply reports a successful prepare.
+type PrepareReply struct {
+	// Manifest is the shard's prepared (not yet published) manifest.
+	Manifest *wire.Manifest `json:"manifest"`
+	// DenseKey and DenseBytes describe the composite-level dense object
+	// this agent stored, when WantDense was set and the snapshot carried
+	// dense state.
+	DenseKey   string `json:"dense_key,omitempty"`
+	DenseBytes int64  `json:"dense_bytes,omitempty"`
+}
+
+// CommitArgs names the attempt for the publish / finalize / abort phases.
+type CommitArgs struct {
+	JobID  string `json:"job_id"`
+	CkptID int    `json:"ckpt_id"`
+}
+
+// StatusReply describes an agent for discovery and monitoring. Status
+// is read-only: it never bumps or fences on epochs.
+type StatusReply struct {
+	JobID string `json:"job_id"`
+	Shard int    `json:"shard"`
+	// Shards is the job's total shard count as configured on the agent.
+	Shards int    `json:"shards"`
+	Epoch  uint64 `json:"epoch"`
+	// NextID is the agent engine's next checkpoint sequence number. The
+	// controller requires consensus across agents before committing.
+	NextID int `json:"next_id"`
+	// PreparedID is the in-flight attempt's ID, or -1.
+	PreparedID int `json:"prepared_id"`
+}

@@ -1,0 +1,125 @@
+package ctrl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire protocol (all integers little-endian), mirroring the object
+// store's framing (internal/objstore/protocol.go):
+//
+//	Request:  u32 magic | u8 op | u64 epoch | u32 bodyLen | body (JSON)
+//	Response: u8 status | u32 payloadLen | payload
+//
+// For statusOK the payload is the op's JSON reply (empty when the op
+// has none); for statusFenced and statusError it is the error message.
+// Epoch rides in the frame header so fencing is checked before any body
+// decoding.
+const (
+	protoMagic = 0x434E4331 // "CNC1"
+
+	opPrepare  = 1
+	opPublish  = 2
+	opFinalize = 3
+	opAbort    = 4
+	opStatus   = 5
+
+	statusOK     = 0
+	statusFenced = 1
+	statusError  = 2
+)
+
+// maxBodyLen bounds a control frame. Control messages carry commands
+// and manifests, never checkpoint payload; manifests of very wide
+// embedding-table sets still fit comfortably.
+const maxBodyLen = 1 << 26 // 64 MiB
+
+type request struct {
+	op    uint8
+	epoch uint64
+	body  []byte
+}
+
+// writeRequest frames and writes a request.
+func writeRequest(w io.Writer, req *request) error {
+	if len(req.body) > maxBodyLen {
+		return fmt.Errorf("ctrl: request body too long: %d bytes", len(req.body))
+	}
+	hdr := make([]byte, 4+1+8+4)
+	binary.LittleEndian.PutUint32(hdr, protoMagic)
+	hdr[4] = req.op
+	binary.LittleEndian.PutUint64(hdr[5:], req.epoch)
+	binary.LittleEndian.PutUint32(hdr[13:], uint32(len(req.body)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(req.body) > 0 {
+		if _, err := w.Write(req.body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readRequest reads one framed request.
+func readRequest(r io.Reader) (*request, error) {
+	hdr := make([]byte, 4+1+8+4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	if m := binary.LittleEndian.Uint32(hdr); m != protoMagic {
+		return nil, fmt.Errorf("ctrl: bad magic 0x%08x", m)
+	}
+	req := &request{op: hdr[4], epoch: binary.LittleEndian.Uint64(hdr[5:])}
+	bodyLen := binary.LittleEndian.Uint32(hdr[13:])
+	if bodyLen > maxBodyLen {
+		return nil, fmt.Errorf("ctrl: body length %d exceeds limit", bodyLen)
+	}
+	if bodyLen > 0 {
+		req.body = make([]byte, bodyLen)
+		if _, err := io.ReadFull(r, req.body); err != nil {
+			return nil, err
+		}
+	}
+	return req, nil
+}
+
+// writeResponse frames and writes a response.
+func writeResponse(w io.Writer, status uint8, payload []byte) error {
+	if len(payload) > maxBodyLen {
+		return fmt.Errorf("ctrl: response too long: %d bytes", len(payload))
+	}
+	hdr := make([]byte, 5)
+	hdr[0] = status
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readResponse reads one framed response.
+func readResponse(r io.Reader) (status uint8, payload []byte, err error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	status = hdr[0]
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxBodyLen {
+		return 0, nil, fmt.Errorf("ctrl: response length %d exceeds limit", n)
+	}
+	if n > 0 {
+		payload = make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, nil, err
+		}
+	}
+	return status, payload, nil
+}

@@ -140,9 +140,18 @@ func TestClientPoolConcurrentWithServerRestartStorm(t *testing.T) {
 	close(stop)
 	<-chaosDone
 
-	// Pool must still work after the storm.
-	if err := client.Put(ctx, "storm/final", []byte("alive")); err != nil {
-		t.Fatalf("client unusable after connection storm: %v", err)
+	// Pool must still work after the storm. The pool may hold up to
+	// PoolSize idle connections the chaos goroutine already closed
+	// server-side; each failed attempt discards one, so PoolSize+1
+	// attempts are guaranteed to reach a freshly dialed connection.
+	var finalErr error
+	for attempt := 0; attempt < 3+1; attempt++ {
+		if finalErr = client.Put(ctx, "storm/final", []byte("alive")); finalErr == nil {
+			break
+		}
+	}
+	if finalErr != nil {
+		t.Fatalf("client unusable after connection storm: %v", finalErr)
 	}
 	t.Logf("%d/%d puts survived the storm", okOps, workers*50)
 }
