@@ -113,6 +113,10 @@ type Config struct {
 	// paper's future-work metadata optimization); cuts checkpoint size
 	// a further ~25% at small embedding dims.
 	CompactMetadata bool
+	// Encoders is the checkpoint engine's quantize+encode worker count
+	// (the data-plane hot path). Zero means one per core; 1 is the
+	// serial baseline.
+	Encoders int
 	// Predictor selects the intermittent policy's full-baseline
 	// predictor: PredictorHistory (the paper's rule, default) or
 	// PredictorRegression (fits the observed growth curve).
@@ -219,6 +223,7 @@ func Open(cfg Config) (*System, error) {
 		KeepLast:           cfg.KeepLast,
 		Predictor:          cfg.Predictor,
 		CompactMetadata:    cfg.CompactMetadata,
+		Encoders:           cfg.Encoders,
 	})
 	if err != nil {
 		reader.Close()

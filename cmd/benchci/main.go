@@ -1,10 +1,15 @@
-// Command benchci runs the coordinator benchmarks programmatically and
-// writes BENCH_coordinator.json — the CI perf-trajectory artifact, one
-// data point per run, diffable across commits.
+// Command benchci runs the benchmark suites programmatically and writes
+// the CI perf-trajectory artifacts — one data point per run, diffable
+// across commits:
+//
+//   - BENCH_coordinator.json: end-to-end composite commits (control +
+//     data plane together)
+//   - BENCH_wire.json: chunk encode/decode, quantization and pack/unpack
+//     microbenchmarks (the data-plane hot path in isolation)
 //
 // Usage:
 //
-//	benchci -out BENCH_coordinator.json -benchtime 1s
+//	benchci -out BENCH_coordinator.json -wire-out BENCH_wire.json -benchtime 1s
 package main
 
 import (
@@ -30,38 +35,49 @@ type Result struct {
 	BenchtimeFlag string  `json:"benchtime"`
 }
 
-func main() {
-	testing.Init()
-	out := flag.String("out", "BENCH_coordinator.json", "artifact path")
-	benchtime := flag.String("benchtime", "1s", "per-benchmark budget (e.g. 1s, 100x)")
-	flag.Parse()
-	if err := flag.Set("test.benchtime", *benchtime); err != nil {
-		log.Fatalf("benchci: set benchtime: %v", err)
-	}
-
+// runSuite benchmarks every case and writes the JSON artifact to path.
+func runSuite(path, prefix, benchtime string, cases []bench.Case) {
 	var results []Result
-	for _, c := range bench.CoordinatorCases() {
+	for _, c := range cases {
 		r := testing.Benchmark(c.Run)
 		res := Result{
-			Name:          "Coordinator/" + c.Name,
+			Name:          prefix + c.Name,
 			Iterations:    r.N,
 			NsPerOp:       r.NsPerOp(),
 			MBPerSec:      float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds(),
 			AllocedBytes:  r.AllocedBytesPerOp(),
 			AllocsPerOp:   r.AllocsPerOp(),
 			PayloadBytes:  r.Extra["payload_bytes/op"],
-			BenchtimeFlag: *benchtime,
+			BenchtimeFlag: benchtime,
 		}
 		results = append(results, res)
-		fmt.Printf("%-32s %10d ns/op %10.1f MB/s %12.0f payload B/op\n",
-			res.Name, res.NsPerOp, res.MBPerSec, res.PayloadBytes)
+		fmt.Printf("%-36s %10d ns/op %10.1f MB/s %6d allocs/op %12.0f payload B/op\n",
+			res.Name, res.NsPerOp, res.MBPerSec, res.AllocsPerOp, res.PayloadBytes)
 	}
 	blob, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		log.Fatalf("benchci: encode: %v", err)
 	}
-	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
-		log.Fatalf("benchci: write %s: %v", *out, err)
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		log.Fatalf("benchci: write %s: %v", path, err)
 	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(results))
+}
+
+func main() {
+	testing.Init()
+	out := flag.String("out", "BENCH_coordinator.json", "coordinator artifact path (empty = skip)")
+	wireOut := flag.String("wire-out", "BENCH_wire.json", "wire/quant artifact path (empty = skip)")
+	benchtime := flag.String("benchtime", "1s", "per-benchmark budget (e.g. 1s, 100x)")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		log.Fatalf("benchci: set benchtime: %v", err)
+	}
+
+	if *wireOut != "" {
+		runSuite(*wireOut, "Wire/", *benchtime, bench.WireCases())
+	}
+	if *out != "" {
+		runSuite(*out, "Coordinator/", *benchtime, bench.CoordinatorCases())
+	}
 }

@@ -30,6 +30,7 @@ func main() {
 	keep := flag.Int("keep", 2, "checkpoints to retain (-1 = all)")
 	doRecover := flag.Bool("recover", false, "restore the latest checkpoint before training")
 	compact := flag.Bool("compact", false, "use the optimized CKP2 chunk metadata layout")
+	encoders := flag.Int("encoders", 0, "quantize+encode workers (0 = one per core, 1 = serial)")
 	predictorName := flag.String("predictor", "history", "intermittent predictor: history|regression")
 	doVerify := flag.Bool("verify", false, "scrub all checkpoints after training")
 	flag.Parse()
@@ -70,6 +71,7 @@ func main() {
 		BatchesPerInterval: *batchesPerInterval,
 		KeepLast:           *keep,
 		CompactMetadata:    *compact,
+		Encoders:           *encoders,
 		Predictor:          predictor,
 	})
 	if err != nil {

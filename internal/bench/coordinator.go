@@ -13,6 +13,7 @@ import (
 	"repro/internal/embedding"
 	"repro/internal/model"
 	"repro/internal/objstore"
+	"repro/internal/quant"
 )
 
 // Case is one named benchmark body.
@@ -72,7 +73,9 @@ func setup(b *testing.B) (fullSnap, incSnap *ckpt.Snapshot) {
 // count. Each iteration is one full two-phase commit (prepare across
 // shards, publish, composite manifest); with incremental set, a full
 // baseline is laid down untimed and the timed writes are incrementals.
-func coordinatorWrite(shards int, incremental bool) func(b *testing.B) {
+// A non-zero qp quantizes the checkpoint (with the CKP2 layout), the
+// production shape where encode cost dominates.
+func coordinatorWrite(shards int, incremental bool, qp quant.Params) func(b *testing.B) {
 	return func(b *testing.B) {
 		fullSnap, incSnap := setup(b)
 		policy := ckpt.PolicyFull
@@ -84,6 +87,10 @@ func coordinatorWrite(shards int, incremental bool) func(b *testing.B) {
 				JobID:  "bench",
 				Store:  objstore.NewMemStore(objstore.MemConfig{}),
 				Policy: policy,
+				Quant:  qp,
+				// Quantized chunks use the optimized metadata layout,
+				// as production would.
+				CompactMetadata: qp.Method != quant.MethodNone,
 				// Bound store growth across iterations.
 				KeepLast: 2,
 			},
@@ -115,19 +122,29 @@ func coordinatorWrite(shards int, incremental bool) func(b *testing.B) {
 }
 
 // CoordinatorCases enumerates the coordinator write benchmarks: full
-// composite commits across shard counts, plus the incremental
-// steady-state at the widest fan-out.
+// composite commits across shard counts (fp32), the incremental
+// steady-state at the widest fan-out, and quantized full commits — the
+// paper's production configuration, where quantize+encode is the
+// data-plane cost the encoder pool must hide.
 func CoordinatorCases() []Case {
+	fp32 := quant.Params{Method: quant.MethodNone}
+	adaptive4 := quant.Params{Method: quant.MethodAdaptive, Bits: 4, NumBins: 45, Ratio: 1}
 	var cases []Case
 	for _, shards := range []int{1, 2, 4, 8} {
 		cases = append(cases, Case{
 			Name: fmt.Sprintf("full_shards=%d", shards),
-			Run:  coordinatorWrite(shards, false),
+			Run:  coordinatorWrite(shards, false, fp32),
 		})
 	}
 	cases = append(cases, Case{
 		Name: "incremental_shards=4",
-		Run:  coordinatorWrite(4, true),
+		Run:  coordinatorWrite(4, true, fp32),
 	})
+	for _, shards := range []int{1, 4} {
+		cases = append(cases, Case{
+			Name: fmt.Sprintf("full_shards=%d_adaptive4", shards),
+			Run:  coordinatorWrite(shards, false, adaptive4),
+		})
+	}
 	return cases
 }

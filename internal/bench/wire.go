@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/quant"
+	"repro/internal/wire"
+)
+
+// Wire/quant microbenchmarks: the chunk encode/decode hot path measured
+// directly, without the coordinator or store in the loop, so the perf
+// trajectory (BENCH_wire.json) pins the serialization layer itself.
+
+const (
+	benchChunkRows = 512
+	benchDim       = 16
+)
+
+// benchVectors builds a deterministic chunk-sized workload.
+func benchVectors() ([][]float32, []float32) {
+	rng := rand.New(rand.NewSource(17))
+	rows := make([][]float32, benchChunkRows)
+	accums := make([]float32, benchChunkRows)
+	for i := range rows {
+		v := make([]float32, benchDim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64() * 0.05)
+			if rng.Float64() < 0.03 {
+				v[j] = float32(rng.NormFloat64() * 0.5)
+			}
+		}
+		rows[i] = v
+		accums[i] = rng.Float32()
+	}
+	return rows, accums
+}
+
+// buildChunk quantizes the workload into a reusable chunk. The returned
+// QVector backing storage is reused across iterations, mirroring the
+// engine's encoder workers.
+func buildChunk(b *testing.B, p quant.Params) *wire.Chunk {
+	b.Helper()
+	vecs, accums := benchVectors()
+	qrows := make([]quant.QVector, len(vecs))
+	var scratch quant.Scratch
+	chunk := &wire.Chunk{TableID: 1, Rows: make([]wire.Row, 0, len(vecs))}
+	for i, v := range vecs {
+		if err := quant.QuantizeInto(&qrows[i], v, p, &scratch); err != nil {
+			b.Fatal(err)
+		}
+		chunk.Rows = append(chunk.Rows, wire.Row{Index: uint32(i), Accum: accums[i], Q: &qrows[i]})
+	}
+	return chunk
+}
+
+func chunkEncode(p quant.Params, compact bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		chunk := buildChunk(b, p)
+		buf := make([]byte, 0, 1<<20)
+		var err error
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if compact {
+				buf, err = chunk.AppendCompactTo(buf[:0])
+			} else {
+				buf, err = chunk.AppendTo(buf[:0])
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(buf)))
+	}
+}
+
+func chunkDecode(p quant.Params, compact bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		chunk := buildChunk(b, p)
+		var blob []byte
+		var err error
+		if compact {
+			blob, err = chunk.EncodeCompact()
+		} else {
+			blob, err = chunk.Encode()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.SetBytes(int64(len(blob)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.DecodeChunk(blob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func quantizeCase(p quant.Params) func(b *testing.B) {
+	return func(b *testing.B) {
+		vecs, _ := benchVectors()
+		x := vecs[0]
+		var q quant.QVector
+		var s quant.Scratch
+		if err := quant.QuantizeInto(&q, x, p, &s); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.SetBytes(int64(4 * len(x)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := quant.QuantizeInto(&q, x, p, &s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func dequantizeCase(p quant.Params) func(b *testing.B) {
+	return func(b *testing.B) {
+		vecs, _ := benchVectors()
+		q, err := quant.Quantize(vecs[0], p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst := make([]float32, q.N)
+		var s quant.Scratch
+		b.ReportAllocs()
+		b.SetBytes(int64(4 * q.N))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := quant.DequantizeInto(dst, q, &s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+const packN = 1 << 16
+
+func packCase(bits int) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(5))
+		codes := make([]uint32, packN)
+		mask := uint32(1)<<uint(bits) - 1
+		for i := range codes {
+			codes[i] = rng.Uint32() & mask
+		}
+		dst := make([]byte, quant.PackedLen(packN, bits))
+		b.ReportAllocs()
+		b.SetBytes(int64(len(dst)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			quant.PackCodes(dst, codes, bits)
+		}
+	}
+}
+
+func unpackCase(bits int) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(6))
+		codes := make([]uint32, packN)
+		mask := uint32(1)<<uint(bits) - 1
+		for i := range codes {
+			codes[i] = rng.Uint32() & mask
+		}
+		src := make([]byte, quant.PackedLen(packN, bits))
+		quant.PackCodes(src, codes, bits)
+		dst := make([]uint32, packN)
+		b.ReportAllocs()
+		b.SetBytes(int64(len(src)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			quant.UnpackCodes(dst, src, bits)
+		}
+	}
+}
+
+// WireCases enumerates the data-plane microbenchmarks emitted as
+// BENCH_wire.json: chunk encode/decode in both layouts for fp32 and
+// 4-bit rows, per-method quantization, and raw pack/unpack throughput.
+func WireCases() []Case {
+	adaptive4 := quant.Params{Method: quant.MethodAdaptive, Bits: 4, NumBins: 45, Ratio: 1}
+	asym8 := quant.Params{Method: quant.MethodAsymmetric, Bits: 8}
+	asym4 := quant.Params{Method: quant.MethodAsymmetric, Bits: 4}
+	none := quant.Params{Method: quant.MethodNone}
+	cases := []Case{
+		{Name: "ChunkEncode", Run: chunkEncode(asym4, true)},
+		{Name: "ChunkEncode_v1", Run: chunkEncode(asym4, false)},
+		{Name: "ChunkEncode_fp32", Run: chunkEncode(none, true)},
+		{Name: "ChunkEncode_fp32_v1", Run: chunkEncode(none, false)},
+		{Name: "ChunkDecode", Run: chunkDecode(asym4, true)},
+		{Name: "ChunkDecode_v1", Run: chunkDecode(asym4, false)},
+		{Name: "ChunkDecode_fp32", Run: chunkDecode(none, true)},
+		{Name: "Quantize_none32", Run: quantizeCase(none)},
+		{Name: "Quantize_asym8", Run: quantizeCase(asym8)},
+		{Name: "Quantize_asym4", Run: quantizeCase(asym4)},
+		{Name: "Quantize_adaptive4", Run: quantizeCase(adaptive4)},
+		{Name: "Dequantize_none32", Run: dequantizeCase(none)},
+		{Name: "Dequantize_asym4", Run: dequantizeCase(asym4)},
+	}
+	for _, bits := range []int{2, 3, 4, 8} {
+		cases = append(cases, Case{Name: fmt.Sprintf("Pack_%dbit", bits), Run: packCase(bits)})
+		cases = append(cases, Case{Name: fmt.Sprintf("Unpack_%dbit", bits), Run: unpackCase(bits)})
+	}
+	return cases
+}

@@ -1,0 +1,15 @@
+package bench
+
+import "testing"
+
+// BenchmarkWire runs every wire/quant microbenchmark; CI runs it with
+// -benchtime=1x in the test job so the bodies can't rot, and cmd/benchci
+// re-runs them for the BENCH_wire.json artifact. (The headline case is
+// Wire/ChunkEncode — the pooled compact 4-bit encode; internal/wire's
+// own BenchmarkChunkEncode measures the allocating Encode API and
+// predates this suite.)
+func BenchmarkWire(b *testing.B) {
+	for _, c := range WireCases() {
+		b.Run(c.Name, c.Run)
+	}
+}

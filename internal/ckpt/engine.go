@@ -3,7 +3,9 @@ package ckpt
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitvec"
 	"repro/internal/embedding"
@@ -28,6 +30,14 @@ type Config struct {
 	// (pipelined store while the next chunk quantizes). Zero means 2;
 	// 1 disables pipelining (the ablation baseline).
 	Uploaders int
+	// Encoders is the number of concurrent quantize+encode workers
+	// feeding the uploaders — the data-plane hot path. Each worker owns
+	// reusable quantization scratch and encodes chunks into pooled
+	// buffers, so the steady-state encode loop is allocation-free per
+	// row. Chunk keys are derived from row position, so the manifest is
+	// deterministic regardless of worker count. Zero means GOMAXPROCS;
+	// 1 restores the serial encode baseline.
+	Encoders int
 	// KeepLast bounds retained checkpoints; older ones are garbage
 	// collected after each successful write, respecting chain
 	// dependencies (a base is never deleted while a dependent increment
@@ -82,6 +92,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if cfg.Uploaders <= 0 {
 		cfg.Uploaders = 2
+	}
+	if cfg.Encoders <= 0 {
+		cfg.Encoders = runtime.GOMAXPROCS(0)
 	}
 	if !cfg.Predictor.Valid() {
 		return nil, fmt.Errorf("ckpt: invalid predictor %d", cfg.Predictor)
@@ -318,7 +331,13 @@ func (e *Engine) rowsToStore(tab *embedding.Table, dec decision, snap *Snapshot)
 	return bm.Indices()
 }
 
-// writeTable quantizes and uploads one table's rows in pipelined chunks.
+// writeTable quantizes, encodes and uploads one table's rows: a pool of
+// cfg.Encoders workers quantizes rows with reusable scratch and encodes
+// chunks into pooled buffers, feeding cfg.Uploaders store writers. Chunk
+// keys are precomputed from row position, so the manifest's chunk order
+// is deterministic regardless of which worker encodes which chunk, and
+// uploaders return each buffer to the pool once Store.Put has released
+// it. In steady state the encode loop performs no per-row allocations.
 func (e *Engine) writeTable(ctx context.Context, ckptID int, tab *embedding.Table, rows []int) (wire.TableManifest, int64, error) {
 	tm := wire.TableManifest{
 		TableID:    tab.ID,
@@ -326,100 +345,126 @@ func (e *Engine) writeTable(ctx context.Context, ckptID int, tab *embedding.Tabl
 		Dim:        tab.Dim,
 		StoredRows: len(rows),
 	}
-
-	type upload struct {
-		key  string
-		blob []byte
+	numChunks := (len(rows) + e.cfg.ChunkRows - 1) / e.cfg.ChunkRows
+	if numChunks == 0 {
+		return tm, 0, nil
 	}
-	uploads := make(chan upload, e.cfg.Uploaders)
-	errCh := make(chan error, e.cfg.Uploaders)
-	var wg sync.WaitGroup
-	var bytesMu sync.Mutex
-	var totalBytes int64
+	tm.ChunkKeys = make([]string, numChunks)
+	for ci := range tm.ChunkKeys {
+		tm.ChunkKeys[ci] = wire.ChunkKey(e.cfg.JobID, ckptID, tab.ID, ci)
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	var totalBytes atomic.Int64
+	errCh := make(chan error, e.cfg.Encoders+e.cfg.Uploaders)
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+			cancel()
+		default:
+		}
+	}
+
+	type upload struct {
+		key string
+		buf *[]byte
+	}
+	uploads := make(chan upload, e.cfg.Uploaders)
+	var upWG sync.WaitGroup
 	for w := 0; w < e.cfg.Uploaders; w++ {
-		wg.Add(1)
+		upWG.Add(1)
 		go func() {
-			defer wg.Done()
+			defer upWG.Done()
 			for u := range uploads {
-				if err := e.cfg.Store.Put(ctx, u.key, u.blob); err != nil {
-					select {
-					case errCh <- err:
-						cancel()
-					default:
-					}
-					return
+				if err := e.cfg.Store.Put(ctx, u.key, *u.buf); err != nil {
+					fail(err)
+				} else {
+					totalBytes.Add(int64(len(*u.buf)))
 				}
-				bytesMu.Lock()
-				totalBytes += int64(len(u.blob))
-				bytesMu.Unlock()
+				wire.PutChunkBuf(u.buf)
 			}
 		}()
 	}
 
-	chunkIdx := 0
-	var encodeErr error
-	for start := 0; start < len(rows); start += e.cfg.ChunkRows {
-		end := start + e.cfg.ChunkRows
-		if end > len(rows) {
-			end = len(rows)
-		}
-		chunk := &wire.Chunk{TableID: uint32(tab.ID)}
-		for _, r := range rows[start:end] {
-			q, err := e.quantizeRow(tab, r)
-			if err != nil {
-				encodeErr = err
-				break
+	encoders := min(e.cfg.Encoders, numChunks)
+	jobs := make(chan int)
+	var encWG sync.WaitGroup
+	for w := 0; w < encoders; w++ {
+		encWG.Add(1)
+		go func() {
+			defer encWG.Done()
+			var (
+				qrows   []quant.QVector
+				scratch quant.Scratch
+				chunk   = wire.Chunk{TableID: uint32(tab.ID)}
+			)
+			for ci := range jobs {
+				start := ci * e.cfg.ChunkRows
+				end := min(start+e.cfg.ChunkRows, len(rows))
+				n := end - start
+				if cap(qrows) < n {
+					qrows = make([]quant.QVector, n)
+				}
+				qrows = qrows[:n]
+				if cap(chunk.Rows) < n {
+					chunk.Rows = make([]wire.Row, 0, n)
+				}
+				chunk.Rows = chunk.Rows[:0]
+				for j, r := range rows[start:end] {
+					if err := quant.QuantizeInto(&qrows[j], tab.Lookup(r), e.cfg.Quant, &scratch); err != nil {
+						fail(err)
+						return
+					}
+					chunk.Rows = append(chunk.Rows, wire.Row{
+						Index: uint32(r),
+						Accum: tab.Accum[r],
+						Q:     &qrows[j],
+					})
+				}
+				buf := wire.GetChunkBuf()
+				var err error
+				if e.cfg.CompactMetadata && chunk.CompactEncodable() {
+					*buf, err = chunk.AppendCompactTo(*buf)
+				} else {
+					*buf, err = chunk.AppendTo(*buf)
+				}
+				if err != nil {
+					wire.PutChunkBuf(buf)
+					fail(err)
+					return
+				}
+				select {
+				case uploads <- upload{key: tm.ChunkKeys[ci], buf: buf}:
+				case <-ctx.Done():
+					wire.PutChunkBuf(buf)
+					return
+				}
 			}
-			chunk.Rows = append(chunk.Rows, wire.Row{
-				Index: uint32(r),
-				Accum: tab.Accum[r],
-				Q:     q,
-			})
-		}
-		if encodeErr != nil {
-			break
-		}
-		var blob []byte
-		var err error
-		if e.cfg.CompactMetadata && chunk.CompactEncodable() {
-			blob, err = chunk.EncodeCompact()
-		} else {
-			blob, err = chunk.Encode()
-		}
-		if err != nil {
-			encodeErr = err
-			break
-		}
-		key := wire.ChunkKey(e.cfg.JobID, ckptID, tab.ID, chunkIdx)
-		tm.ChunkKeys = append(tm.ChunkKeys, key)
-		chunkIdx++
+		}()
+	}
+
+feed:
+	for ci := 0; ci < numChunks; ci++ {
 		select {
-		case uploads <- upload{key: key, blob: blob}:
+		case jobs <- ci:
 		case <-ctx.Done():
-			encodeErr = ctx.Err()
-		}
-		if encodeErr != nil {
-			break
+			break feed
 		}
 	}
+	close(jobs)
+	encWG.Wait()
 	close(uploads)
-	wg.Wait()
+	upWG.Wait()
 	select {
 	case err := <-errCh:
-		return tm, 0, fmt.Errorf("ckpt: table %d upload: %w", tab.ID, err)
+		return tm, 0, fmt.Errorf("ckpt: table %d: %w", tab.ID, err)
 	default:
 	}
-	if encodeErr != nil {
-		return tm, 0, fmt.Errorf("ckpt: table %d: %w", tab.ID, encodeErr)
+	if err := ctx.Err(); err != nil {
+		return tm, 0, fmt.Errorf("ckpt: table %d: %w", tab.ID, err)
 	}
-	return tm, totalBytes, nil
-}
-
-// quantizeRow quantizes one embedding row under the engine's parameters.
-func (e *Engine) quantizeRow(tab *embedding.Table, row int) (*quant.QVector, error) {
-	return quant.Quantize(tab.Lookup(row), e.cfg.Quant)
+	return tm, totalBytes.Load(), nil
 }
 
 // cleanup deletes any objects written for an aborted checkpoint.

@@ -4,10 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/data"
+	"repro/internal/embedding"
 	"repro/internal/model"
 	"repro/internal/objstore"
 	"repro/internal/quant"
@@ -21,9 +25,16 @@ import (
 type Restorer struct {
 	jobID string
 	store objstore.Store
+	// decoders is the number of concurrent chunk fetch+decode+apply
+	// workers per manifest — the restore-side mirror of the engine's
+	// encoder pool. Chunks within one manifest cover disjoint rows, so
+	// applying them concurrently is safe; ordering across chain links is
+	// preserved because links apply sequentially.
+	decoders int
 }
 
-// NewRestorer returns a Restorer for the given job.
+// NewRestorer returns a Restorer for the given job. Chunk decoding
+// defaults to one worker per core; see SetDecoders.
 func NewRestorer(jobID string, store objstore.Store) (*Restorer, error) {
 	if jobID == "" {
 		return nil, fmt.Errorf("ckpt: empty job ID")
@@ -31,7 +42,16 @@ func NewRestorer(jobID string, store objstore.Store) (*Restorer, error) {
 	if store == nil {
 		return nil, fmt.Errorf("ckpt: nil store")
 	}
-	return &Restorer{jobID: jobID, store: store}, nil
+	return &Restorer{jobID: jobID, store: store, decoders: runtime.GOMAXPROCS(0)}, nil
+}
+
+// SetDecoders overrides the per-manifest chunk decode parallelism.
+// n <= 1 restores the serial decode baseline.
+func (r *Restorer) SetDecoders(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.decoders = n
 }
 
 // ListManifests returns all valid checkpoint manifests for the job,
@@ -113,9 +133,15 @@ func (r *Restorer) Complete(ctx context.Context, man *wire.Manifest) (bool, erro
 	return true, nil
 }
 
-// shardRestorer returns a Restorer scoped to shard s of this job.
+// shardRestorer returns a Restorer scoped to shard s of this job,
+// inheriting the decode parallelism setting.
 func (r *Restorer) shardRestorer(s int) (*Restorer, error) {
-	return NewRestorer(wire.ShardJobID(r.jobID, s), r.store)
+	sub, err := NewRestorer(wire.ShardJobID(r.jobID, s), r.store)
+	if err != nil {
+		return nil, err
+	}
+	sub.decoders = r.decoders
+	return sub, nil
 }
 
 // Chain returns the manifests that must be applied, oldest first, to
@@ -296,9 +322,22 @@ func (r *Restorer) RestoreLatest(ctx context.Context, m *model.DLRM) (*RestoreRe
 	return nil, ErrNoCheckpoint
 }
 
+// chunkWork names one chunk object to fetch, decode and apply.
+type chunkWork struct {
+	tableID int
+	tab     *embedding.Table
+	key     string
+}
+
 // applyOne applies a single manifest's chunks and dense state to m.
+// Chunks are fetched, decoded and applied across r.decoders workers:
+// every chunk of one manifest covers a disjoint row set, so concurrent
+// application never races. Chain-link ordering is the caller's loop,
+// which applies manifests sequentially.
 func (r *Restorer) applyOne(ctx context.Context, man *wire.Manifest, m *model.DLRM, res *RestoreResult) error {
-	for _, tm := range man.Tables {
+	var work []chunkWork
+	for i := range man.Tables {
+		tm := &man.Tables[i]
 		tab := m.Sparse.Table(tm.TableID)
 		if tab == nil {
 			return fmt.Errorf("ckpt: model has no table %d", tm.TableID)
@@ -308,33 +347,57 @@ func (r *Restorer) applyOne(ctx context.Context, man *wire.Manifest, m *model.DL
 				tm.TableID, tab.Rows, tab.Dim, tm.Rows, tm.Dim)
 		}
 		for _, key := range tm.ChunkKeys {
-			blob, err := r.store.Get(ctx, key)
-			if err != nil {
-				return fmt.Errorf("ckpt: get %s: %w", key, err)
-			}
-			res.BytesRead += int64(len(blob))
-			chunk, err := wire.DecodeChunk(blob)
-			if err != nil {
-				return fmt.Errorf("ckpt: %s: %w", key, err)
-			}
-			if int(chunk.TableID) != tm.TableID {
-				return fmt.Errorf("ckpt: %s holds table %d, want %d", key, chunk.TableID, tm.TableID)
-			}
-			for i := range chunk.Rows {
-				row := &chunk.Rows[i]
-				if int(row.Index) >= tab.Rows {
-					return fmt.Errorf("ckpt: %s row %d out of range", key, row.Index)
-				}
-				vals := quant.Dequantize(row.Q)
-				if len(vals) != tab.Dim {
-					return fmt.Errorf("ckpt: %s row %d dim %d != %d", key, row.Index, len(vals), tab.Dim)
-				}
-				copy(tab.Lookup(int(row.Index)), vals)
-				tab.Accum[row.Index] = row.Accum
-				res.RowsApplied++
-			}
+			work = append(work, chunkWork{tableID: tm.TableID, tab: tab, key: key})
 		}
 	}
+
+	if len(work) > 0 {
+		workers := max(1, min(r.decoders, len(work)))
+		dctx, cancel := context.WithCancel(ctx)
+		var rowsApplied, bytesRead atomic.Int64
+		errCh := make(chan error, workers)
+		jobs := make(chan chunkWork)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var scratch quant.Scratch
+				for w := range jobs {
+					rows, bytes, err := r.applyChunk(dctx, w, &scratch)
+					if err != nil {
+						select {
+						case errCh <- err:
+							cancel()
+						default:
+						}
+						return
+					}
+					rowsApplied.Add(int64(rows))
+					bytesRead.Add(bytes)
+				}
+			}()
+		}
+	feed:
+		for _, w := range work {
+			select {
+			case jobs <- w:
+			case <-dctx.Done():
+				break feed
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		cancel()
+		select {
+		case err := <-errCh:
+			return err
+		default:
+		}
+		res.RowsApplied += int(rowsApplied.Load())
+		res.BytesRead += bytesRead.Load()
+	}
+
 	if man.DenseKey == "" {
 		// Shard manifests carry no dense state; the composite does.
 		return nil
@@ -348,4 +411,37 @@ func (r *Restorer) applyOne(ctx context.Context, man *wire.Manifest, m *model.DL
 		return fmt.Errorf("ckpt: dense state: %w", err)
 	}
 	return nil
+}
+
+// applyChunk fetches, decodes and applies one chunk, de-quantizing each
+// row directly into the table's storage (no intermediate fp32 vector).
+func (r *Restorer) applyChunk(ctx context.Context, w chunkWork, scratch *quant.Scratch) (rowsApplied int, bytesRead int64, err error) {
+	blob, err := r.store.Get(ctx, w.key)
+	if err != nil {
+		return 0, 0, fmt.Errorf("ckpt: get %s: %w", w.key, err)
+	}
+	bytesRead = int64(len(blob))
+	chunk, err := wire.DecodeChunk(blob)
+	if err != nil {
+		return 0, bytesRead, fmt.Errorf("ckpt: %s: %w", w.key, err)
+	}
+	if int(chunk.TableID) != w.tableID {
+		return 0, bytesRead, fmt.Errorf("ckpt: %s holds table %d, want %d", w.key, chunk.TableID, w.tableID)
+	}
+	tab := w.tab
+	for i := range chunk.Rows {
+		row := &chunk.Rows[i]
+		if int(row.Index) >= tab.Rows {
+			return rowsApplied, bytesRead, fmt.Errorf("ckpt: %s row %d out of range", w.key, row.Index)
+		}
+		if row.Q.N != tab.Dim {
+			return rowsApplied, bytesRead, fmt.Errorf("ckpt: %s row %d dim %d != %d", w.key, row.Index, row.Q.N, tab.Dim)
+		}
+		if err := quant.DequantizeInto(tab.Lookup(int(row.Index)), row.Q, scratch); err != nil {
+			return rowsApplied, bytesRead, fmt.Errorf("ckpt: %s row %d: %w", w.key, row.Index, err)
+		}
+		tab.Accum[row.Index] = row.Accum
+		rowsApplied++
+	}
+	return rowsApplied, bytesRead, nil
 }

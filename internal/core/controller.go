@@ -41,8 +41,9 @@ type Config struct {
 
 	// KeepLast bounds retained checkpoints (0 keeps all).
 	KeepLast int
-	// ChunkRows and Uploaders tune the engine's pipelining.
-	ChunkRows, Uploaders int
+	// ChunkRows and Uploaders tune the engine's pipelining; Encoders is
+	// the quantize+encode worker count (0 = one per core).
+	ChunkRows, Uploaders, Encoders int
 	// Predictor selects the intermittent policy's baseline predictor.
 	Predictor ckpt.PredictorKind
 	// CompactMetadata enables the CKP2 chunk layout (smaller per-row
@@ -115,6 +116,7 @@ func New(cluster *trainer.Cluster, reader *data.Cluster, cfg Config) (*Controlle
 		Quant:           qp,
 		ChunkRows:       cfg.ChunkRows,
 		Uploaders:       cfg.Uploaders,
+		Encoders:        cfg.Encoders,
 		KeepLast:        cfg.KeepLast,
 		Predictor:       cfg.Predictor,
 		CompactMetadata: cfg.CompactMetadata,

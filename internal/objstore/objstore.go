@@ -24,7 +24,11 @@ var ErrClosed = errors.New("objstore: store closed")
 // Store is the object storage interface used by the checkpoint engine.
 // Values are immutable once put; a Put to an existing key overwrites it.
 type Store interface {
-	// Put stores value under key.
+	// Put stores value under key. Implementations must not retain
+	// value after Put returns: the checkpoint engine recycles encode
+	// buffers through a pool the moment Put completes (MemStore copies
+	// on Put; the TCP client writes the bytes to the socket before
+	// returning). A write-behind implementation must copy.
 	Put(ctx context.Context, key string, value []byte) error
 	// Get returns the value stored under key, or ErrNotFound.
 	Get(ctx context.Context, key string) ([]byte, error)

@@ -16,40 +16,47 @@ import (
 //	[]   packed codes, packedLen(n, bits) bytes
 const flagCodebook = 1 << 0
 
-// MarshalBinary serializes q. It implements encoding.BinaryMarshaler.
-func (q *QVector) MarshalBinary() ([]byte, error) {
-	if q.N < 0 {
-		return nil, fmt.Errorf("quant: negative N")
-	}
+// EncodedLen returns the exact byte length MarshalBinary/AppendBinary
+// produce for q — the streaming chunk writer uses it to emit the per-row
+// length prefix without materializing the row.
+func (q *QVector) EncodedLen() int {
 	size := 1 + 1 + 4 + 8 + len(q.Codes)
 	if q.Codebook != nil {
 		size += 2 + 4*len(q.Codebook)
 	}
-	out := make([]byte, 0, size)
-	out = append(out, byte(q.Bits))
+	return size
+}
+
+// AppendBinary serializes q onto dst and returns the extended slice. It
+// allocates only when dst lacks capacity, which is what makes the chunk
+// encode loop allocation-free. It implements encoding.BinaryAppender.
+func (q *QVector) AppendBinary(dst []byte) ([]byte, error) {
+	if q.N < 0 {
+		// Return dst unchanged so pooled buffers survive failed encodes.
+		return dst, fmt.Errorf("quant: negative N")
+	}
+	dst = append(dst, byte(q.Bits))
 	var flags byte
 	if q.Codebook != nil {
 		flags |= flagCodebook
 	}
-	out = append(out, flags)
-	var b4 [4]byte
-	binary.LittleEndian.PutUint32(b4[:], uint32(q.N))
-	out = append(out, b4[:]...)
-	binary.LittleEndian.PutUint32(b4[:], math.Float32bits(q.Lo))
-	out = append(out, b4[:]...)
-	binary.LittleEndian.PutUint32(b4[:], math.Float32bits(q.Hi))
-	out = append(out, b4[:]...)
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(q.N))
+	dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(q.Lo))
+	dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(q.Hi))
 	if q.Codebook != nil {
-		var b2 [2]byte
-		binary.LittleEndian.PutUint16(b2[:], uint16(len(q.Codebook)))
-		out = append(out, b2[:]...)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(q.Codebook)))
 		for _, c := range q.Codebook {
-			binary.LittleEndian.PutUint32(b4[:], math.Float32bits(c))
-			out = append(out, b4[:]...)
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(c))
 		}
 	}
-	out = append(out, q.Codes...)
-	return out, nil
+	dst = append(dst, q.Codes...)
+	return dst, nil
+}
+
+// MarshalBinary serializes q. It implements encoding.BinaryMarshaler.
+func (q *QVector) MarshalBinary() ([]byte, error) {
+	return q.AppendBinary(make([]byte, 0, q.EncodedLen()))
 }
 
 // UnmarshalBinary restores q from MarshalBinary output. It implements

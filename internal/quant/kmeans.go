@@ -4,7 +4,7 @@ import (
 	"sort"
 )
 
-// quantizeKMeans clusters the vector's elements into 2^bits centroids with
+// quantizeKMeansInto clusters the vector's elements into 2^bits centroids with
 // Lloyd's algorithm (§5.2 Approach 2). Initialization uses evenly spaced
 // quantiles of the sorted elements, which avoids the empty-cluster
 // pathologies of random init on 1-D data while staying deterministic.
@@ -12,8 +12,11 @@ import (
 // The paper found per-vector k-means gives marginally lower mean ℓ2 error
 // than adaptive asymmetric but is orders of magnitude slower at checkpoint
 // scale, so Check-N-Run does not deploy it; it exists here as the
-// comparison point for Figure 9.
-func quantizeKMeans(x []float32, bits, iters int) *QVector {
+// comparison point for Figure 9. Unlike the uniform paths it allocates
+// working state per call (sorted copy, assignments) — it is not on the
+// engine's hot path — but it still reuses q's Codes and Codebook arrays
+// and packs codes word-wise.
+func quantizeKMeansInto(q *QVector, x []float32, bits, iters int) {
 	k := 1 << uint(bits)
 	if k > len(x) {
 		k = len(x)
@@ -67,19 +70,22 @@ func quantizeKMeans(x []float32, bits, iters int) *QVector {
 		}
 	}
 
-	q := &QVector{
-		Bits:     bits,
-		N:        len(x),
-		Codes:    make([]byte, packedLen(len(x), bits)),
-		Codebook: make([]float32, 1<<uint(bits)),
+	q.Bits = bits
+	q.N = len(x)
+	q.Lo, q.Hi = 0, 0
+	q.Codes = ensureBytes(q.Codes, PackedLen(len(x), bits))
+	q.Codebook = ensureF32(q.Codebook, 1<<uint(bits))
+	for c := range q.Codebook {
+		q.Codebook[c] = 0
 	}
 	for c := 0; c < k; c++ {
 		q.Codebook[c] = float32(centroids[c])
 	}
+	codes := make([]uint32, len(x))
 	for i := range x {
-		writeBitsAt(q.Codes, i, bits, uint32(assign[i]))
+		codes[i] = uint32(assign[i])
 	}
-	return q
+	PackCodes(q.Codes, codes, bits)
 }
 
 func distSq(a, b float64) float64 {

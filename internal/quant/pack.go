@@ -1,0 +1,234 @@
+package quant
+
+import "encoding/binary"
+
+// Word-wise bit packing.
+//
+// Codes are packed LSB-first: the value at logical index i occupies
+// absolute bit positions [i*bits, (i+1)*bits), bit b of the value landing
+// at absolute position i*bits+b, where absolute bit p lives in byte p/8
+// at in-byte position p%8. This is exactly the layout the original
+// bit-at-a-time packer produced, so packed streams are interchangeable
+// across implementations — the golden-bytes tests in internal/wire pin it.
+//
+// The implementation is a 64-bit accumulator that shifts whole codes in
+// and retires full bytes, with dedicated unrolled paths for the power-of-
+// two widths (1, 2, 4, 8 bits) where codes align to byte boundaries.
+// fp32 (MethodNone) rows never come through here; they use direct
+// little-endian 4-byte loads and stores.
+
+// PackedLen returns the byte length of n packed codes of the given width.
+func PackedLen(n, bits int) int {
+	return (n*bits + 7) / 8
+}
+
+// packedLen is the historical internal spelling.
+func packedLen(n, bits int) int { return PackedLen(n, bits) }
+
+// PackCodes packs codes (each truncated to the low `bits` bits) into dst,
+// which must hold at least PackedLen(len(codes), bits) bytes. Every byte
+// of the packed region is overwritten; dst does not need to be zeroed.
+// bits must be in [1, 8].
+func PackCodes(dst []byte, codes []uint32, bits int) {
+	n := len(codes)
+	switch bits {
+	case 8:
+		for i, c := range codes {
+			dst[i] = byte(c)
+		}
+	case 4:
+		o := 0
+		for i := 0; i+2 <= n; i += 2 {
+			dst[o] = byte(codes[i]&0xf) | byte(codes[i+1]&0xf)<<4
+			o++
+		}
+		if n%2 != 0 {
+			dst[o] = byte(codes[n-1] & 0xf)
+		}
+	case 2:
+		o := 0
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			dst[o] = byte(codes[i]&3) | byte(codes[i+1]&3)<<2 |
+				byte(codes[i+2]&3)<<4 | byte(codes[i+3]&3)<<6
+			o++
+		}
+		if i < n {
+			var b byte
+			for s := 0; i < n; i, s = i+1, s+2 {
+				b |= byte(codes[i]&3) << s
+			}
+			dst[o] = b
+		}
+	case 1:
+		o := 0
+		i := 0
+		for ; i+8 <= n; i += 8 {
+			dst[o] = byte(codes[i]&1) | byte(codes[i+1]&1)<<1 |
+				byte(codes[i+2]&1)<<2 | byte(codes[i+3]&1)<<3 |
+				byte(codes[i+4]&1)<<4 | byte(codes[i+5]&1)<<5 |
+				byte(codes[i+6]&1)<<6 | byte(codes[i+7]&1)<<7
+			o++
+		}
+		if i < n {
+			var b byte
+			for s := 0; i < n; i, s = i+1, s+1 {
+				b |= byte(codes[i]&1) << s
+			}
+			dst[o] = b
+		}
+	default:
+		packAccum(dst, codes, uint(bits))
+	}
+}
+
+// packAccum is the general path for widths that straddle byte boundaries
+// (3, 5, 6, 7 bits): shift each code into a 64-bit accumulator and retire
+// full bytes. The accumulator never exceeds 15 live bits (7 carried + 8
+// incoming), so it cannot overflow.
+func packAccum(dst []byte, codes []uint32, bits uint) {
+	mask := uint32(1)<<bits - 1
+	var acc uint64
+	var na uint // live bits in acc
+	o := 0
+	for _, c := range codes {
+		acc |= uint64(c&mask) << na
+		na += bits
+		for na >= 8 {
+			dst[o] = byte(acc)
+			o++
+			acc >>= 8
+			na -= 8
+		}
+	}
+	if na > 0 {
+		dst[o] = byte(acc)
+	}
+}
+
+// UnpackCodes reverses PackCodes: it reads len(dst) codes of the given
+// width from src, which must hold at least PackedLen(len(dst), bits)
+// bytes. bits must be in [1, 8].
+func UnpackCodes(dst []uint32, src []byte, bits int) {
+	n := len(dst)
+	switch bits {
+	case 8:
+		for i := range dst {
+			dst[i] = uint32(src[i])
+		}
+	case 4:
+		o := 0
+		for i := 0; i+2 <= n; i += 2 {
+			b := src[o]
+			o++
+			dst[i] = uint32(b & 0xf)
+			dst[i+1] = uint32(b >> 4)
+		}
+		if n%2 != 0 {
+			dst[n-1] = uint32(src[o] & 0xf)
+		}
+	case 2:
+		o := 0
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			b := src[o]
+			o++
+			dst[i] = uint32(b & 3)
+			dst[i+1] = uint32(b >> 2 & 3)
+			dst[i+2] = uint32(b >> 4 & 3)
+			dst[i+3] = uint32(b >> 6)
+		}
+		for s := 0; i < n; i, s = i+1, s+2 {
+			dst[i] = uint32(src[o] >> s & 3)
+		}
+	case 1:
+		o := 0
+		i := 0
+		for ; i+8 <= n; i += 8 {
+			b := src[o]
+			o++
+			dst[i] = uint32(b & 1)
+			dst[i+1] = uint32(b >> 1 & 1)
+			dst[i+2] = uint32(b >> 2 & 1)
+			dst[i+3] = uint32(b >> 3 & 1)
+			dst[i+4] = uint32(b >> 4 & 1)
+			dst[i+5] = uint32(b >> 5 & 1)
+			dst[i+6] = uint32(b >> 6 & 1)
+			dst[i+7] = uint32(b >> 7)
+		}
+		for s := 0; i < n; i, s = i+1, s+1 {
+			dst[i] = uint32(src[o] >> s & 1)
+		}
+	default:
+		unpackAccum(dst, src, uint(bits))
+	}
+}
+
+// unpackAccum is the general unpack path: refill the 64-bit accumulator a
+// byte at a time and peel codes off the bottom.
+func unpackAccum(dst []uint32, src []byte, bits uint) {
+	mask := uint64(1)<<bits - 1
+	var acc uint64
+	var na uint
+	o := 0
+	for i := range dst {
+		for na < bits {
+			acc |= uint64(src[o]) << na
+			o++
+			na += 8
+		}
+		dst[i] = uint32(acc & mask)
+		acc >>= bits
+		na -= bits
+	}
+}
+
+// rawPutF32 stores fp32 values verbatim, little-endian — the MethodNone
+// fast path. dst must hold 4*len(x) bytes.
+func rawPutF32(dst []byte, x []float32) {
+	for i, v := range x {
+		binary.LittleEndian.PutUint32(dst[i*4:], f32b(v))
+	}
+}
+
+// rawGetF32 loads fp32 values stored by rawPutF32. src must hold
+// 4*len(dst) bytes.
+func rawGetF32(dst []float32, src []byte) {
+	for i := range dst {
+		dst[i] = f32fb(binary.LittleEndian.Uint32(src[i*4:]))
+	}
+}
+
+// Scratch holds reusable staging buffers so the QuantizeInto /
+// DequantizeInto hot path performs zero allocations in steady state.
+// A Scratch is owned by one goroutine; the engine's encoder and decoder
+// workers each carry their own.
+type Scratch struct {
+	codes []uint32
+}
+
+// codeBuf returns an n-element code staging buffer, growing the backing
+// array only when the requested size exceeds anything seen before.
+func (s *Scratch) codeBuf(n int) []uint32 {
+	if cap(s.codes) < n {
+		s.codes = make([]uint32, n)
+	}
+	return s.codes[:n]
+}
+
+// ensureBytes returns b resized to n bytes, reusing its backing array
+// when capacity allows.
+func ensureBytes(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// ensureF32 is ensureBytes for float32 slices.
+func ensureF32(b []float32, n int) []float32 {
+	if cap(b) < n {
+		return make([]float32, n)
+	}
+	return b[:n]
+}

@@ -120,61 +120,118 @@ func (q *QVector) StorageBytes() int {
 // Quantize quantizes one embedding vector with the given parameters.
 // MethodNone returns a QVector that round-trips exactly (codes hold raw
 // fp32); callers normally special-case it before reaching here.
+//
+// Quantize allocates a fresh QVector per call. The engine's hot path
+// uses QuantizeInto with a reused QVector and Scratch instead.
 func Quantize(x []float32, p Params) (*QVector, error) {
-	if err := p.Validate(); err != nil {
+	q := new(QVector)
+	if err := QuantizeInto(q, x, p, nil); err != nil {
 		return nil, err
 	}
+	return q, nil
+}
+
+// QuantizeInto quantizes x into q, reusing q's Codes (and Codebook)
+// backing arrays and the staging buffers in s. It performs zero
+// allocations in steady state for the uniform methods and MethodNone —
+// the chunk-encode hot path. s may be nil, in which case staging buffers
+// are allocated per call. q is fully overwritten; stale fields from a
+// previous use never leak into the result.
+func QuantizeInto(q *QVector, x []float32, p Params, s *Scratch) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
 	if len(x) == 0 {
-		return nil, fmt.Errorf("quant: empty vector")
+		return fmt.Errorf("quant: empty vector")
+	}
+	if s == nil {
+		s = &Scratch{}
 	}
 	switch p.Method {
 	case MethodNone:
-		return quantizeNone(x), nil
+		quantizeNoneInto(q, x)
+		return nil
 	case MethodSymmetric:
 		lo, hi := symmetricRange(x)
-		return quantizeUniform(x, p.Bits, lo, hi), nil
+		quantizeUniformInto(q, x, p.Bits, lo, hi, s)
+		return nil
 	case MethodAsymmetric:
 		lo, hi := minMax(x)
-		return quantizeUniform(x, p.Bits, lo, hi), nil
+		quantizeUniformInto(q, x, p.Bits, lo, hi, s)
+		return nil
 	case MethodAdaptive:
 		lo, hi := adaptiveRange(x, p.Bits, p.NumBins, p.Ratio)
-		return quantizeUniform(x, p.Bits, lo, hi), nil
+		quantizeUniformInto(q, x, p.Bits, lo, hi, s)
+		return nil
 	case MethodKMeans:
-		return quantizeKMeans(x, p.Bits, p.KMeansIters), nil
+		quantizeKMeansInto(q, x, p.Bits, p.KMeansIters)
+		return nil
 	}
 	panic("unreachable")
 }
 
-// Dequantize reconstructs the fp32 vector from q.
+// Dequantize reconstructs the fp32 vector from q, allocating the result.
 func Dequantize(q *QVector) []float32 {
 	out := make([]float32, q.N)
-	if q.Bits == 32 { // MethodNone raw storage
-		for i := range out {
-			out[i] = math.Float32frombits(readBitsAt(q.Codes, i, 32))
-		}
-		return out
-	}
-	if q.Codebook != nil {
-		for i := range out {
-			out[i] = q.Codebook[readBitsAt(q.Codes, i, q.Bits)]
-		}
-		return out
-	}
-	scale, zero := scaleZero(q.Lo, q.Hi, q.Bits)
-	for i := range out {
-		code := readBitsAt(q.Codes, i, q.Bits)
-		out[i] = scale*float32(code) + zero
+	if err := DequantizeInto(out, q, nil); err != nil {
+		panic(fmt.Sprintf("quant: Dequantize on malformed QVector: %v", err))
 	}
 	return out
 }
 
-// quantizeNone stores raw fp32 bits so the round trip is exact.
-func quantizeNone(x []float32) *QVector {
-	q := &QVector{Bits: 32, N: len(x), Codes: make([]byte, len(x)*4)}
-	for i, v := range x {
-		writeBitsAt(q.Codes, i, 32, math.Float32bits(v))
+// DequantizeInto reconstructs q into dst, which must have exactly q.N
+// elements. It performs zero allocations in steady state when given a
+// reusable Scratch — restore workers dequantize straight into the
+// embedding table's row storage. s may be nil (staging is then
+// allocated per call; the fp32 and 8-bit paths never need staging).
+func DequantizeInto(dst []float32, q *QVector, s *Scratch) error {
+	if len(dst) != q.N {
+		return fmt.Errorf("quant: dequantize into %d elements, vector has %d", len(dst), q.N)
 	}
-	return q
+	if q.Bits == 32 { // MethodNone raw storage
+		if len(q.Codes) < 4*q.N {
+			return fmt.Errorf("quant: raw codes %d bytes, want %d", len(q.Codes), 4*q.N)
+		}
+		rawGetF32(dst, q.Codes)
+		return nil
+	}
+	if q.Bits < 1 || q.Bits > 8 {
+		return fmt.Errorf("quant: invalid bits %d", q.Bits)
+	}
+	if len(q.Codes) < PackedLen(q.N, q.Bits) {
+		return fmt.Errorf("quant: codes %d bytes, want %d", len(q.Codes), PackedLen(q.N, q.Bits))
+	}
+	if s == nil {
+		s = &Scratch{}
+	}
+	codes := s.codeBuf(q.N)
+	UnpackCodes(codes, q.Codes, q.Bits)
+	if q.Codebook != nil {
+		cb := q.Codebook
+		for i, c := range codes {
+			if int(c) >= len(cb) {
+				return fmt.Errorf("quant: code %d exceeds codebook of %d", c, len(cb))
+			}
+			dst[i] = cb[c]
+		}
+		return nil
+	}
+	scale, zero := scaleZero(q.Lo, q.Hi, q.Bits)
+	for i, c := range codes {
+		dst[i] = scale*float32(c) + zero
+	}
+	return nil
+}
+
+// quantizeNoneInto stores raw fp32 bits so the round trip is exact,
+// using direct 4-byte little-endian stores.
+func quantizeNoneInto(q *QVector, x []float32) {
+	q.Bits = 32
+	q.N = len(x)
+	q.Lo, q.Hi = 0, 0
+	q.Codebook = nil
+	q.Codes = ensureBytes(q.Codes, len(x)*4)
+	rawPutF32(q.Codes, x)
 }
 
 // symmetricRange returns [-m, m] where m = max|x|.
@@ -216,17 +273,18 @@ func scaleZero(lo, hi float32, bits int) (scale, zero float32) {
 	return (hi - lo) / levels, lo
 }
 
-// quantizeUniform maps x into [0, 2^bits-1] codes over [lo, hi], clipping
-// out-of-range elements (which is what makes the adaptive range-shrinking
-// search meaningful).
-func quantizeUniform(x []float32, bits int, lo, hi float32) *QVector {
-	q := &QVector{
-		Bits:  bits,
-		N:     len(x),
-		Lo:    lo,
-		Hi:    hi,
-		Codes: make([]byte, packedLen(len(x), bits)),
-	}
+// quantizeUniformInto maps x into [0, 2^bits-1] codes over [lo, hi],
+// clipping out-of-range elements (which is what makes the adaptive
+// range-shrinking search meaningful). Codes are staged unpacked in s and
+// packed word-wise in one pass.
+func quantizeUniformInto(q *QVector, x []float32, bits int, lo, hi float32, s *Scratch) {
+	q.Bits = bits
+	q.N = len(x)
+	q.Lo = lo
+	q.Hi = hi
+	q.Codebook = nil
+	q.Codes = ensureBytes(q.Codes, PackedLen(len(x), bits))
+	codes := s.codeBuf(len(x))
 	scale, zero := scaleZero(lo, hi, bits)
 	maxCode := uint32(1)<<uint(bits) - 1
 	for i, v := range x {
@@ -242,9 +300,9 @@ func quantizeUniform(x []float32, bits int, lo, hi float32) *QVector {
 			}
 			code = uint32(r)
 		}
-		writeBitsAt(q.Codes, i, bits, code)
+		codes[i] = code
 	}
-	return q
+	PackCodes(q.Codes, codes, bits)
 }
 
 // uniformL2 computes the squared reconstruction error of uniform
@@ -311,30 +369,5 @@ func adaptiveRange(x []float32, bits, numBins int, ratio float64) (lo, hi float3
 	return bestLo, bestHi
 }
 
-// packedLen returns the byte length of n codes of the given bit width.
-func packedLen(n, bits int) int {
-	return (n*bits + 7) / 8
-}
-
-// writeBitsAt writes an unsigned value of the given width at logical index
-// i into the packed buffer.
-func writeBitsAt(buf []byte, i, bits int, v uint32) {
-	bitPos := i * bits
-	for b := 0; b < bits; b++ {
-		if v&(1<<uint(b)) != 0 {
-			buf[(bitPos+b)/8] |= 1 << uint((bitPos+b)%8)
-		}
-	}
-}
-
-// readBitsAt reads the value written by writeBitsAt.
-func readBitsAt(buf []byte, i, bits int) uint32 {
-	bitPos := i * bits
-	var v uint32
-	for b := 0; b < bits; b++ {
-		if buf[(bitPos+b)/8]&(1<<uint((bitPos+b)%8)) != 0 {
-			v |= 1 << uint(b)
-		}
-	}
-	return v
-}
+func f32b(v float32) uint32  { return math.Float32bits(v) }
+func f32fb(b uint32) float32 { return math.Float32frombits(b) }

@@ -286,29 +286,7 @@ func TestPackedCodesCompression(t *testing.T) {
 	}
 }
 
-func TestBitPackRoundTrip(t *testing.T) {
-	f := func(seed int64, bitsRaw uint8) bool {
-		bits := int(bitsRaw)%8 + 1
-		rng := rand.New(rand.NewSource(seed))
-		n := rng.Intn(100) + 1
-		buf := make([]byte, packedLen(n, bits))
-		vals := make([]uint32, n)
-		maxV := uint32(1)<<uint(bits) - 1
-		for i := range vals {
-			vals[i] = rng.Uint32() & maxV
-			writeBitsAt(buf, i, bits, vals[i])
-		}
-		for i := range vals {
-			if readBitsAt(buf, i, bits) != vals[i] {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
-		t.Fatal(err)
-	}
-}
+// Bit-pack round-trip and differential tests live in pack_test.go.
 
 func TestQVectorMarshalRoundTrip(t *testing.T) {
 	x := trainedLikeVector(rand.New(rand.NewSource(9)), 48)

@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/quant"
+)
+
+// TestAppendToMatchesEncode checks that appending onto a non-empty,
+// reused buffer yields exactly the bytes Encode produces — the CRC must
+// cover only the chunk's own bytes, not the prefix.
+func TestAppendToMatchesEncode(t *testing.T) {
+	c := goldenChunk(t, 3, 6, 16, quant.Params{Method: quant.MethodAsymmetric, Bits: 4})
+	want, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []byte("reused-buffer-prefix")
+	got, err := c.AppendTo(append([]byte(nil), prefix...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(prefix)], prefix) {
+		t.Fatal("AppendTo clobbered the prefix")
+	}
+	if !bytes.Equal(got[len(prefix):], want) {
+		t.Fatal("AppendTo suffix differs from Encode output")
+	}
+	wantC, err := c.EncodeCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotC, err := c.AppendCompactTo(append([]byte(nil), prefix...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotC[len(prefix):], wantC) {
+		t.Fatal("AppendCompactTo suffix differs from EncodeCompact output")
+	}
+	// Exact-size accounting keeps pooled buffers from over-growing.
+	if len(want) != c.EncodedLen() {
+		t.Fatalf("EncodedLen %d != encoded size %d", c.EncodedLen(), len(want))
+	}
+	if len(wantC) != c.CompactEncodedLen() {
+		t.Fatalf("CompactEncodedLen %d != encoded size %d", c.CompactEncodedLen(), len(wantC))
+	}
+}
+
+// TestChunkBufPool exercises the get/put cycle and the reuse contract.
+func TestChunkBufPool(t *testing.T) {
+	buf := GetChunkBuf()
+	if len(*buf) != 0 {
+		t.Fatalf("fresh buffer has length %d", len(*buf))
+	}
+	*buf = append(*buf, []byte("payload")...)
+	PutChunkBuf(buf)
+	again := GetChunkBuf()
+	if len(*again) != 0 {
+		t.Fatal("recycled buffer not reset to zero length")
+	}
+	PutChunkBuf(again)
+	PutChunkBuf(nil) // must not panic
+
+	// Oversized buffers are dropped, not pooled.
+	big := make([]byte, 0, maxPooledChunkBuf+1)
+	PutChunkBuf(&big)
+}
+
+// TestEncodePooledAllocFree confirms encoding into a warm pooled buffer
+// does not allocate.
+func TestEncodePooledAllocFree(t *testing.T) {
+	c := goldenChunk(t, 3, 32, 16, quant.Params{Method: quant.MethodAsymmetric, Bits: 4})
+	buf := GetChunkBuf()
+	defer PutChunkBuf(buf)
+	var err error
+	if *buf, err = c.AppendCompactTo((*buf)[:0]); err != nil { // warm capacity
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		*buf, err = c.AppendCompactTo((*buf)[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("compact encode into warm buffer: %v allocs, want 0", allocs)
+	}
+	if *buf, err = c.AppendTo((*buf)[:0]); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(20, func() {
+		*buf, err = c.AppendTo((*buf)[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("v1 encode into warm buffer: %v allocs, want 0", allocs)
+	}
+}

@@ -1,0 +1,40 @@
+package wire
+
+import "sync"
+
+// Chunk encode buffers are pooled so the steady-state encode→upload
+// pipeline allocates nothing per chunk: an encoder worker takes a
+// buffer, appends the chunk into it, hands it to an uploader, and the
+// uploader returns it after Store.Put. Both store implementations
+// (MemStore copies on Put; the TCP client writes the value to the socket
+// before returning) release the value by the time Put returns, so
+// recycling there is safe.
+
+// maxPooledChunkBuf bounds the capacity of buffers kept in the pool, so
+// one pathologically large chunk doesn't pin memory forever.
+const maxPooledChunkBuf = 8 << 20
+
+var chunkBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64<<10)
+		return &b
+	},
+}
+
+// GetChunkBuf returns a zero-length reusable encode buffer. Append into
+// it (updating *buf) and release it with PutChunkBuf when the contents
+// are no longer referenced.
+func GetChunkBuf() *[]byte {
+	b := chunkBufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutChunkBuf returns a buffer obtained from GetChunkBuf to the pool.
+// The caller must not touch *buf afterwards.
+func PutChunkBuf(buf *[]byte) {
+	if buf == nil || cap(*buf) > maxPooledChunkBuf {
+		return
+	}
+	chunkBufPool.Put(buf)
+}

@@ -54,11 +54,33 @@ func (c *Chunk) CompactEncodable() bool {
 	return true
 }
 
+// CompactEncodedLen returns the exact CKP2 encoding size of the chunk,
+// assuming it is compact-encodable.
+func (c *Chunk) CompactEncodedLen() int {
+	bits, dim := 32, 0
+	if len(c.Rows) > 0 && c.Rows[0].Q != nil {
+		bits = c.Rows[0].Q.Bits
+		dim = c.Rows[0].Q.N
+	}
+	size := 20 + len(c.Rows)*(4+4+packedCodeLen(dim, bits)) + 4
+	if bits != 32 {
+		size += len(c.Rows) * 8
+	}
+	return size
+}
+
 // EncodeCompact serializes the chunk in the CKP2 layout. It returns an
 // error if the chunk mixes methods (check CompactEncodable first).
 func (c *Chunk) EncodeCompact() ([]byte, error) {
+	return c.AppendCompactTo(make([]byte, 0, c.CompactEncodedLen()))
+}
+
+// AppendCompactTo appends the chunk's CKP2 encoding to dst and returns
+// the extended slice. Like AppendTo, it allocates nothing when dst has
+// capacity and emits bytes identical to the original EncodeCompact.
+func (c *Chunk) AppendCompactTo(dst []byte) ([]byte, error) {
 	if !c.CompactEncodable() {
-		return nil, fmt.Errorf("wire: chunk not compact-encodable (mixed or codebook rows)")
+		return dst, fmt.Errorf("wire: chunk not compact-encodable (mixed or codebook rows)")
 	}
 	bits, dim := 32, 0
 	if len(c.Rows) > 0 {
@@ -67,46 +89,38 @@ func (c *Chunk) EncodeCompact() ([]byte, error) {
 	}
 	hasRange := bits != 32
 	rowCodes := packedCodeLen(dim, bits)
-	size := 20 + len(c.Rows)*(4+4+rowCodes) + 4
-	if hasRange {
-		size += len(c.Rows) * 8
-	}
-	out := make([]byte, 0, size)
-	var b4 [4]byte
-	put32 := func(v uint32) {
-		binary.LittleEndian.PutUint32(b4[:], v)
-		out = append(out, b4[:]...)
-	}
-	put32(compactMagic)
-	put32(c.TableID)
-	put32(uint32(len(c.Rows)))
+	base := len(dst)
+	le := binary.LittleEndian
+	dst = le.AppendUint32(dst, compactMagic)
+	dst = le.AppendUint32(dst, c.TableID)
+	dst = le.AppendUint32(dst, uint32(len(c.Rows)))
 	var flags byte
 	if hasRange {
 		flags |= compactFlagHasRange
 	}
-	out = append(out, byte(bits), flags, 0, 0)
-	put32(uint32(dim))
+	dst = append(dst, byte(bits), flags, 0, 0)
+	dst = le.AppendUint32(dst, uint32(dim))
 	for i := range c.Rows {
-		put32(c.Rows[i].Index)
+		dst = le.AppendUint32(dst, c.Rows[i].Index)
 	}
 	for i := range c.Rows {
-		put32(math.Float32bits(c.Rows[i].Accum))
+		dst = le.AppendUint32(dst, math.Float32bits(c.Rows[i].Accum))
 	}
 	if hasRange {
 		for i := range c.Rows {
-			put32(math.Float32bits(c.Rows[i].Q.Lo))
-			put32(math.Float32bits(c.Rows[i].Q.Hi))
+			dst = le.AppendUint32(dst, math.Float32bits(c.Rows[i].Q.Lo))
+			dst = le.AppendUint32(dst, math.Float32bits(c.Rows[i].Q.Hi))
 		}
 	}
 	for i := range c.Rows {
 		q := c.Rows[i].Q
 		if len(q.Codes) != rowCodes {
-			return nil, fmt.Errorf("wire: row %d codes %d bytes, want %d", i, len(q.Codes), rowCodes)
+			return dst, fmt.Errorf("wire: row %d codes %d bytes, want %d", i, len(q.Codes), rowCodes)
 		}
-		out = append(out, q.Codes...)
+		dst = append(dst, q.Codes...)
 	}
-	put32(crc32.Checksum(out, crcTable))
-	return out, nil
+	dst = le.AppendUint32(dst, crc32.Checksum(dst[base:], crcTable))
+	return dst, nil
 }
 
 // decodeCompact parses a CKP2 chunk (CRC already verified, magic peeked).
@@ -134,37 +148,33 @@ func decodeCompact(body []byte) (*Chunk, error) {
 	if len(body) != need {
 		return nil, fmt.Errorf("wire: compact chunk %d bytes, want %d", len(body), need)
 	}
-	off := 20
-	idx := make([]uint32, n)
-	for i := 0; i < n; i++ {
-		idx[i] = binary.LittleEndian.Uint32(body[off:])
-		off += 4
-	}
-	accum := make([]float32, n)
-	for i := 0; i < n; i++ {
-		accum[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[off:]))
-		off += 4
-	}
-	lo := make([]float32, n)
-	hi := make([]float32, n)
+	// The layout is columnar; decode with fixed per-column offsets and
+	// batch the allocations: one Row slice, one QVector slice, and one
+	// contiguous backing array for all row codes.
+	idxOff := 20
+	accumOff := idxOff + 4*n
+	rangeOff := accumOff + 4*n
+	codesOff := rangeOff
 	if hasRange {
-		for i := 0; i < n; i++ {
-			lo[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[off:]))
-			hi[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[off+4:]))
-			off += 8
-		}
+		codesOff += 8 * n
 	}
 	c.Rows = make([]Row, n)
+	qs := make([]quant.QVector, n)
+	codesAll := append([]byte(nil), body[codesOff:codesOff+n*rowCodes]...)
 	for i := 0; i < n; i++ {
-		q := &quant.QVector{
-			Bits:  bits,
-			N:     dim,
-			Lo:    lo[i],
-			Hi:    hi[i],
-			Codes: append([]byte(nil), body[off:off+rowCodes]...),
+		q := &qs[i]
+		q.Bits = bits
+		q.N = dim
+		if hasRange {
+			q.Lo = math.Float32frombits(binary.LittleEndian.Uint32(body[rangeOff+8*i:]))
+			q.Hi = math.Float32frombits(binary.LittleEndian.Uint32(body[rangeOff+8*i+4:]))
 		}
-		off += rowCodes
-		c.Rows[i] = Row{Index: idx[i], Accum: accum[i], Q: q}
+		q.Codes = codesAll[i*rowCodes : (i+1)*rowCodes : (i+1)*rowCodes]
+		c.Rows[i] = Row{
+			Index: binary.LittleEndian.Uint32(body[idxOff+4*i:]),
+			Accum: math.Float32frombits(binary.LittleEndian.Uint32(body[accumOff+4*i:])),
+			Q:     q,
+		}
 	}
 	return c, nil
 }

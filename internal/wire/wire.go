@@ -60,36 +60,55 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // chunkMagic guards against decoding non-chunk objects.
 const chunkMagic = 0x434B5031 // "CKP1"
 
+// EncodedLen returns the exact v1 encoding size of the chunk, for
+// presizing buffers. Rows with nil vectors contribute only their header;
+// AppendTo rejects them anyway.
+func (c *Chunk) EncodedLen() int {
+	size := 12 + 4 // header + CRC
+	for i := range c.Rows {
+		size += 12
+		if q := c.Rows[i].Q; q != nil {
+			size += q.EncodedLen()
+		}
+	}
+	return size
+}
+
 // Encode serializes the chunk with a trailing CRC32-C over the body.
 func (c *Chunk) Encode() ([]byte, error) {
+	return c.AppendTo(make([]byte, 0, c.EncodedLen()))
+}
+
+// AppendTo appends the chunk's v1 encoding to dst and returns the
+// extended slice. Rows are serialized in place — no per-row blob
+// allocations — so encoding into a pooled buffer with sufficient
+// capacity performs zero allocations. The emitted bytes are identical to
+// Encode's (the golden-bytes tests pin this). On error the returned
+// slice keeps dst's backing array (possibly partially extended), so
+// pooled buffers survive failed encodes.
+func (c *Chunk) AppendTo(dst []byte) ([]byte, error) {
+	base := len(dst)
 	// Header: magic u32 | tableID u32 | rowCount u32.
-	out := make([]byte, 0, 16+len(c.Rows)*64)
-	var b4 [4]byte
-	put := func(v uint32) {
-		binary.LittleEndian.PutUint32(b4[:], v)
-		out = append(out, b4[:]...)
-	}
-	put(chunkMagic)
-	put(c.TableID)
-	put(uint32(len(c.Rows)))
+	dst = binary.LittleEndian.AppendUint32(dst, chunkMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, c.TableID)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(c.Rows)))
 	for i := range c.Rows {
 		r := &c.Rows[i]
 		if r.Q == nil {
-			return nil, fmt.Errorf("wire: row %d has nil quantized vector", i)
+			return dst, fmt.Errorf("wire: row %d has nil quantized vector", i)
 		}
-		blob, err := r.Q.MarshalBinary()
-		if err != nil {
-			return nil, fmt.Errorf("wire: row %d: %w", i, err)
-		}
-		put(r.Index)
-		binary.LittleEndian.PutUint32(b4[:], uint32(len(blob)))
-		out = append(out, b4[:]...)
+		dst = binary.LittleEndian.AppendUint32(dst, r.Index)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(r.Q.EncodedLen()))
 		// Accum as raw fp32 bits.
-		put(f32bits(r.Accum))
-		out = append(out, blob...)
+		dst = binary.LittleEndian.AppendUint32(dst, f32bits(r.Accum))
+		var err error
+		dst, err = r.Q.AppendBinary(dst)
+		if err != nil {
+			return dst, fmt.Errorf("wire: row %d: %w", i, err)
+		}
 	}
-	put(crc32.Checksum(out, crcTable))
-	return out, nil
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(dst[base:], crcTable))
+	return dst, nil
 }
 
 // DecodeChunk parses and CRC-verifies a chunk produced by Encode.
@@ -112,8 +131,13 @@ func DecodeChunk(data []byte) (*Chunk, error) {
 	}
 	c := &Chunk{TableID: binary.LittleEndian.Uint32(body[4:])}
 	n := int(binary.LittleEndian.Uint32(body[8:]))
+	if n < 0 || n > len(body) {
+		return nil, fmt.Errorf("wire: implausible row count %d in %d-byte chunk", n, len(body))
+	}
 	off := 12
 	c.Rows = make([]Row, 0, n)
+	// One batched allocation for the row vectors instead of one per row.
+	qs := make([]quant.QVector, n)
 	for i := 0; i < n; i++ {
 		if off+12 > len(body) {
 			return nil, fmt.Errorf("wire: truncated row header at row %d", i)
@@ -122,15 +146,15 @@ func DecodeChunk(data []byte) (*Chunk, error) {
 		blobLen := int(binary.LittleEndian.Uint32(body[off+4:]))
 		accum := f32frombits(binary.LittleEndian.Uint32(body[off+8:]))
 		off += 12
-		if off+blobLen > len(body) {
+		if blobLen < 0 || off+blobLen > len(body) {
 			return nil, fmt.Errorf("wire: truncated row payload at row %d", i)
 		}
-		var q quant.QVector
+		q := &qs[i]
 		if err := q.UnmarshalBinary(body[off : off+blobLen]); err != nil {
 			return nil, fmt.Errorf("wire: row %d: %w", i, err)
 		}
 		off += blobLen
-		c.Rows = append(c.Rows, Row{Index: idx, Accum: accum, Q: &q})
+		c.Rows = append(c.Rows, Row{Index: idx, Accum: accum, Q: q})
 	}
 	if off != len(body) {
 		return nil, fmt.Errorf("wire: %d trailing bytes in chunk", len(body)-off)
