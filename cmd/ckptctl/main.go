@@ -9,6 +9,8 @@
 //	ckptctl -store 127.0.0.1:7070 -job demo verify -id 3
 //	ckptctl -store 127.0.0.1:7070 -job demo delete -id 0
 //	ckptctl -store 127.0.0.1:7070 -job demo gc --dry-run  # orphan sweep
+//	ckptctl -store 127.0.0.1:7070 -job demo status \
+//	    -agents 127.0.0.1:9001,127.0.0.1:9002          # fleet health
 package main
 
 import (
@@ -18,8 +20,10 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/ckpt"
+	"repro/internal/ctrl"
 	"repro/internal/objstore"
 	"repro/internal/wire"
 )
@@ -30,10 +34,11 @@ func main() {
 	id := flag.Int("id", -1, "checkpoint ID (-1 = all where applicable)")
 	force := flag.Bool("force", false, "delete even if other checkpoints depend on the target")
 	dryRun := flag.Bool("dry-run", false, "gc: report orphans without deleting them")
+	agents := flag.String("agents", "", "status: comma-separated shard-agent control addresses")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: ckptctl [flags] list|verify|delete|gc [flags]")
+		fmt.Fprintln(os.Stderr, "usage: ckptctl [flags] list|verify|delete|gc|status [flags]")
 		os.Exit(2)
 	}
 	verb := flag.Arg(0)
@@ -169,6 +174,46 @@ func main() {
 		}
 		fmt.Printf("scanned %d objects: %d referenced, %d orphaned (%s)\n",
 			report.Scanned, report.Referenced, len(report.Orphans), verbed)
+	case "status":
+		// Fleet health for operators and tests: the durable epoch/lease
+		// register plus each agent's live position.
+		reg, err := ctrl.NewRegister(ctrl.RegisterConfig{JobID: *job, Store: store})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		rec, err := reg.Read(ctx)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		lease := "free"
+		if rec.HeldAt(time.Now()) {
+			lease = fmt.Sprintf("held by %q until %s", rec.Holder, rec.Expires().Format(time.RFC3339))
+		} else if rec.Holder != "" {
+			lease = fmt.Sprintf("lapsed (last holder %q)", rec.Holder)
+		}
+		fmt.Printf("job %s: epoch %d, lease %s\n", *job, rec.Epoch, lease)
+		if *agents == "" {
+			return
+		}
+		fmt.Printf("%-22s %-6s %-7s %-6s %-5s %s\n", "agent", "shard", "shards", "epoch", "next", "prepared")
+		for _, addr := range strings.Split(*agents, ",") {
+			client, err := ctrl.DialAgent(addr, ctrl.ClientConfig{})
+			if err != nil {
+				fmt.Printf("%-22s unreachable: %v\n", addr, err)
+				continue
+			}
+			st, err := client.Status(ctx)
+			client.Close()
+			if err != nil {
+				fmt.Printf("%-22s unreachable: %v\n", addr, err)
+				continue
+			}
+			prepared := "-"
+			if st.PreparedID >= 0 {
+				prepared = fmt.Sprintf("%d", st.PreparedID)
+			}
+			fmt.Printf("%-22s %-6d %-7d %-6d %-5d %s\n", addr, st.Shard, st.Shards, st.Epoch, st.NextID, prepared)
+		}
 	default:
 		logger.Fatalf("unknown verb %q", verb)
 	}

@@ -4,10 +4,19 @@
 // commit over the control plane, and alone writes the composite
 // manifest that makes a sharded checkpoint valid.
 //
+// Epochs come from the job's store-backed lease register: the controller
+// acquires the commit lease on startup (durably incrementing the epoch),
+// renews it around every commit, and releases it on exit. A standby
+// controller started with -standby blocks watching the register and
+// promotes itself when the leader's lease expires — no manual -epoch
+// bookkeeping across failovers.
+//
 // Usage:
 //
 //	controller -store 127.0.0.1:7070 -job demo \
 //	    -agents 127.0.0.1:9001,127.0.0.1:9002 -checkpoints 3 -stride 8
+//
+//	controller -standby ...   # waits for the leader's lease to lapse
 package main
 
 import (
@@ -27,16 +36,24 @@ func main() {
 	storeAddr := flag.String("store", "127.0.0.1:7070", "TCP object store address")
 	job := flag.String("job", "demo", "job ID")
 	agents := flag.String("agents", "", "comma-separated shard-agent control addresses")
-	epoch := flag.Uint64("epoch", 0, "job epoch (0 = adopt fleet max + 1)")
+	epoch := flag.Uint64("epoch", 0, "explicit epoch to demand from the register (0 = next)")
 	checkpoints := flag.Int("checkpoints", 3, "number of checkpoint rounds to drive")
 	stride := flag.Uint64("stride", 8, "training steps between checkpoint cuts")
 	keep := flag.Int("keep", 0, "composite-level KeepLast retention (0 keeps everything)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-checkpoint deadline")
+	standby := flag.Bool("standby", false, "wait for the current leader's lease to lapse, then take over")
+	noLease := flag.Bool("no-lease", false, "skip the lease register; legacy flag-or-max+1 epoch mode")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "lease duration between renewals")
+	holder := flag.String("holder", "", "holder identity in the lease register (default host:pid)")
+	statusEvery := flag.Duration("status-every", 0, "fleet health polling period (0 = off)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "controller: ", log.LstdFlags)
 	if *agents == "" {
 		logger.Fatal("no -agents given")
+	}
+	if *standby && *noLease {
+		logger.Fatal("-standby requires the lease register (-no-lease given)")
 	}
 
 	store, err := objstore.Dial(*storeAddr, objstore.ClientConfig{})
@@ -45,14 +62,70 @@ func main() {
 	}
 	defer store.Close()
 
-	c, err := ctrl.NewController(ctrl.ControllerConfig{
+	ctx := context.Background()
+	var lease *ctrl.Lease
+	if !*noLease {
+		who := *holder
+		if who == "" {
+			host, _ := os.Hostname()
+			who = fmt.Sprintf("%s:%d", host, os.Getpid())
+		}
+		reg, err := ctrl.NewRegister(ctrl.RegisterConfig{
+			JobID: *job, Store: store, Holder: who, TTL: *leaseTTL,
+		})
+		if err != nil {
+			logger.Fatalf("lease register: %v", err)
+		}
+		if *standby {
+			logger.Printf("standby: watching lease of job %s as %q", *job, who)
+			lease, err = reg.WaitAcquire(ctx)
+		} else {
+			lease, err = reg.Acquire(ctx, *epoch)
+		}
+		if err != nil {
+			logger.Fatalf("acquire lease: %v", err)
+		}
+		logger.Printf("holding lease for job %s at epoch %d", *job, lease.Epoch())
+		defer func() {
+			rctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := lease.Release(rctx); err != nil {
+				logger.Printf("release lease: %v", err)
+			}
+		}()
+		// Renew in the background so the lease survives long training
+		// stretches between commits. Checkpoint re-verifies it inline at
+		// the commit point, so a lost lease still fences correctly.
+		renewCtx, stopRenew := context.WithCancel(ctx)
+		defer stopRenew()
+		go func() {
+			tick := time.NewTicker(*leaseTTL / 3)
+			defer tick.Stop()
+			for {
+				select {
+				case <-renewCtx.Done():
+					return
+				case <-tick.C:
+					if err := lease.Renew(renewCtx); err != nil && renewCtx.Err() == nil {
+						logger.Printf("lease renew: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	cfg := ctrl.ControllerConfig{
 		JobID:    *job,
 		Store:    store,
 		Agents:   strings.Split(*agents, ","),
-		Epoch:    *epoch,
 		KeepLast: *keep,
+		Lease:    lease,
 		Logf:     objstore.Logger(logger),
-	})
+	}
+	if lease == nil {
+		cfg.Epoch = *epoch
+	}
+	c, err := ctrl.NewController(cfg)
 	if err != nil {
 		logger.Fatalf("discover fleet: %v", err)
 	}
@@ -60,13 +133,33 @@ func main() {
 	logger.Printf("fleet of %d shards at epoch %d, next checkpoint %d",
 		c.Shards(), c.Epoch(), c.NextID())
 
+	if *statusEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*statusEvery)
+			defer tick.Stop()
+			for range tick.C {
+				hctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				sts, err := c.Health(hctx)
+				cancel()
+				if err != nil {
+					logger.Printf("health: %v", err)
+					continue
+				}
+				for _, st := range sts {
+					logger.Printf("health: shard %d/%d epoch %d next %d prepared %d",
+						st.Shard, st.Shards, st.Epoch, st.NextID, st.PreparedID)
+				}
+			}
+		}()
+	}
+
 	// Each round cuts one stride further into the sample stream; the
 	// agents' replicas train forward to the cut inside prepare.
 	base := uint64(c.NextID())
 	for round := 0; round < *checkpoints; round++ {
 		step := (base + uint64(round) + 1) * *stride
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-		man, err := c.Checkpoint(ctx, step)
+		cctx, cancel := context.WithTimeout(ctx, *timeout)
+		man, err := c.Checkpoint(cctx, step)
 		cancel()
 		if err != nil {
 			logger.Fatalf("checkpoint at step %d: %v", step, err)

@@ -20,6 +20,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/ckpt"
 	"repro/internal/ctrl/shardhost"
@@ -38,6 +39,8 @@ func main() {
 	policy := flag.String("policy", "oneshot", "checkpoint policy: full|oneshot|consecutive|intermittent")
 	quantBits := flag.Int("quant-bits", 0, "asymmetric quantization bits (0 = fp32)")
 	keep := flag.Int("keep", 0, "shard-level KeepLast retention (0 keeps everything)")
+	recoverFlag := flag.Bool("recover", true, "rebuild engine state from the store's manifests on startup (fleet rejoin)")
+	opTimeout := flag.Duration("op-timeout", 2*time.Minute, "per-operation deadline, store I/O included (0 = none)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, fmt.Sprintf("shardd[%d]: ", *shard), log.LstdFlags)
@@ -59,6 +62,8 @@ func main() {
 		Seed:       *seed,
 		BatchSize:  *batch,
 		Engine:     ecfg,
+		Recover:    *recoverFlag,
+		OpTimeout:  *opTimeout,
 		Logf:       objstore.Logger(logger),
 	})
 	if err != nil {

@@ -102,6 +102,7 @@ func runShard() {
 		TableRows: fleetRows,
 		Dim:       fleetDim,
 		Engine:    ckpt.Config{Policy: ckpt.PolicyOneShot},
+		Recover:   os.Getenv("FLEET_RECOVER") == "1",
 		Logf:      log.New(os.Stderr, fmt.Sprintf("shard[%d]: ", shard), 0).Printf,
 	})
 	if err != nil {
@@ -191,16 +192,31 @@ func runDistributedDemo() error {
 		return err
 	}
 	defer store.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Epochs come from the job's store-backed lease register, not flags:
+	// each controller incarnation acquires the commit lease, durably
+	// bumping the epoch past every predecessor's.
+	reg, err := ctrl.NewRegister(ctrl.RegisterConfig{
+		JobID: fleetJob, Store: store, Holder: "fleet-demo-a",
+	})
+	if err != nil {
+		return err
+	}
+	lease, err := reg.Acquire(ctx, 0)
+	if err != nil {
+		return err
+	}
 	c, err := ctrl.NewController(ctrl.ControllerConfig{
-		JobID: fleetJob, Store: store, Agents: addrs,
+		JobID: fleetJob, Store: store, Agents: addrs, Lease: lease,
 	})
 	if err != nil {
 		return err
 	}
 	defer c.Close()
 
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
-	defer cancel()
 	var lastStep uint64
 	for round := 1; round <= 3; round++ {
 		step := uint64(round) * 8
@@ -212,6 +228,60 @@ func runDistributedDemo() error {
 		fmt.Printf("ckpt %d: %-11s %d shards, %6d bytes payload, step %d\n",
 			man.ID, man.Kind, man.ShardCount, man.PayloadBytes, man.Step)
 	}
+
+	// Self-healing: SIGKILL one shardd mid-fleet, restart it with
+	// recovery on, and fail the controller over through the lease
+	// register. The restarted agent rebuilds its engine from the store's
+	// manifests, so discovery's NextID consensus still holds; the
+	// successor controller's lease grants the next epoch automatically.
+	fmt.Println("\n--- self-healing: SIGKILL shardd 1, rejoin + controller failover ---")
+	victim := children[2] // [0] store, [1+s] shard s
+	victim.Process.Kill()
+	victim.Wait()
+	c.Close()
+	if err := lease.Release(ctx); err != nil {
+		return err
+	}
+	proc, addr, err := fork("shard",
+		"FLEET_SHARD=1",
+		"FLEET_SHARDS="+strconv.Itoa(shards),
+		"FLEET_STORE="+storeAddr,
+		"FLEET_RECOVER=1",
+	)
+	if err != nil {
+		return err
+	}
+	children[2] = proc
+	addrs[1] = addr
+	fmt.Printf("shardd 1 restarted: pid %d on %s\n", proc.Process.Pid, addr)
+
+	regB, err := ctrl.NewRegister(ctrl.RegisterConfig{
+		JobID: fleetJob, Store: store, Holder: "fleet-demo-b",
+	})
+	if err != nil {
+		return err
+	}
+	leaseB, err := regB.Acquire(ctx, 0)
+	if err != nil {
+		return err
+	}
+	defer leaseB.Release(context.Background())
+	c2, err := ctrl.NewController(ctrl.ControllerConfig{
+		JobID: fleetJob, Store: store, Agents: addrs, Lease: leaseB,
+	})
+	if err != nil {
+		return err
+	}
+	defer c2.Close()
+	fmt.Printf("successor controller at epoch %d (lease register), next checkpoint %d\n",
+		c2.Epoch(), c2.NextID())
+	man, err := c2.Checkpoint(ctx, 4*8)
+	if err != nil {
+		return err
+	}
+	lastStep = man.Step
+	fmt.Printf("ckpt %d: %-11s %d shards, %6d bytes payload, step %d\n",
+		man.ID, man.Kind, man.ShardCount, man.PayloadBytes, man.Step)
 
 	// Crash-restore on a fresh model in the controller process, then
 	// verify against a local replica trained to the same step: the

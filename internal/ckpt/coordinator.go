@@ -243,9 +243,11 @@ func (c *Coordinator) Write(ctx context.Context, snap *Snapshot) (*wire.Manifest
 		return fail(fmt.Errorf("ckpt: store composite manifest: %w", err))
 	}
 	_ = FinalizeShards(context.WithoutCancel(ctx), c.runners, id)
-	c.manifests[id] = man
 	c.nextID++
+	// Cache for retention only: with retention disabled the cache would
+	// grow one manifest per checkpoint, forever, on a long-running job.
 	if c.cfg.KeepLast > 0 {
+		c.manifests[id] = man
 		c.gc(ctx)
 	}
 	return man, nil

@@ -533,5 +533,140 @@ func (e *Engine) Manifest(id int) (*wire.Manifest, bool) {
 	return m, ok
 }
 
+// RecoverOptions tunes RecoverEngine's manifest walk.
+type RecoverOptions struct {
+	// Committed reports whether checkpoint id reached its job-level
+	// commit point. For a shard engine inside a composite job the commit
+	// point is the controller's composite manifest, not the shard
+	// manifest: a shard manifest published by an attempt whose composite
+	// never landed is debris of an aborted two-phase commit. The newest
+	// manifest failing this check is rolled back (its objects deleted)
+	// rather than adopted, so a rejoining agent agrees with the rest of
+	// the fleet about the next checkpoint ID. Only the newest manifest
+	// is checked — at most one attempt is ever in flight, and older
+	// commit points may have been legitimately garbage collected.
+	//
+	// nil means every published manifest counts: for single-writer jobs
+	// the manifest itself is the commit point.
+	Committed func(ctx context.Context, id int) (bool, error)
+}
+
+// RecoverEngine rebuilds an Engine from the job's durable state by
+// walking its manifests in the store — the rejoin path for a process
+// that crashed and lost its in-memory engine. It reconstructs the
+// checkpoint sequence number, the last full baseline, the manifest
+// cache GC depends on, the policy's incremental-size history, and the
+// cumulative modified-since-baseline bitmaps (from the row indices the
+// incrementals since the last full actually stored), so the recovered
+// engine continues the chain exactly where the dead one left off.
+//
+// The rebuilt policy history covers only manifests that survived
+// retention; after deep GC it is an approximation, which can shift
+// the intermittent predictor's next full-baseline decision but never
+// correctness of the chain itself.
+func RecoverEngine(ctx context.Context, cfg Config, opts RecoverOptions) (*Engine, error) {
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rest, err := NewRestorer(cfg.JobID, cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := rest.ListManifests(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: recover: %w", err)
+	}
+	// Composite manifests never live under an engine's own scope; skip
+	// them defensively so a mis-scoped recovery cannot adopt one.
+	kept := ms[:0]
+	for _, m := range ms {
+		if !m.Composite() {
+			kept = append(kept, m)
+		}
+	}
+	ms = kept
+	// A trailing manifest whose job-level commit point never landed is
+	// the published half of an aborted two-phase commit: roll it back
+	// so this engine's next ID matches the fleet's.
+	if opts.Committed != nil && len(ms) > 0 {
+		last := ms[len(ms)-1]
+		ok, err := opts.Committed(ctx, last.ID)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: recover: commit check %d: %w", last.ID, err)
+		}
+		if !ok {
+			eng.cleanup(ctx, last.ID)
+			ms = ms[:len(ms)-1]
+		}
+	}
+	if len(ms) == 0 {
+		return eng, nil
+	}
+
+	// Replay the committed history in ID order — exactly what each
+	// Finalize recorded, up to whatever KeepLast already collected.
+	for _, m := range ms {
+		kind := wire.KindIncremental
+		if m.Kind == wire.KindFull.String() {
+			kind = wire.KindFull
+			eng.lastFullID = m.ID
+		}
+		eng.manifests[m.ID] = m
+		eng.state.record(kind, manifestStoredFraction(m))
+	}
+	eng.nextID = ms[len(ms)-1].ID + 1
+
+	// Rebuild the cumulative modified-since-baseline bitmaps from the
+	// rows the incrementals since the last full stored: decode each
+	// chunk and mark its row indices. (One-shot incrementals make later
+	// links supersets of earlier ones; unioning every link is correct
+	// for both the one-shot family and consecutive chains.)
+	for _, m := range ms {
+		if m.ID <= eng.lastFullID || m.Kind != wire.KindIncremental.String() {
+			continue
+		}
+		for i := range m.Tables {
+			tm := &m.Tables[i]
+			if tm.StoredRows == 0 {
+				continue
+			}
+			bm := eng.cumulative[tm.TableID]
+			if bm == nil {
+				bm = bitvec.New(tm.Rows)
+				eng.cumulative[tm.TableID] = bm
+			}
+			for _, key := range tm.ChunkKeys {
+				blob, err := cfg.Store.Get(ctx, key)
+				if err != nil {
+					return nil, fmt.Errorf("ckpt: recover: get %s: %w", key, err)
+				}
+				chunk, err := wire.DecodeChunk(blob)
+				if err != nil {
+					return nil, fmt.Errorf("ckpt: recover: %s: %w", key, err)
+				}
+				for r := range chunk.Rows {
+					bm.Set(int(chunk.Rows[r].Index))
+				}
+			}
+		}
+	}
+	return eng, nil
+}
+
+// manifestStoredFraction returns the manifest's stored-row fraction of
+// total rows — the S_i the policy recorded when it committed.
+func manifestStoredFraction(m *wire.Manifest) float64 {
+	total, stored := 0, 0
+	for i := range m.Tables {
+		total += m.Tables[i].Rows
+		stored += m.Tables[i].StoredRows
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(stored) / float64(total)
+}
+
 // LatestID returns the ID of the most recent committed checkpoint, or -1.
 func (e *Engine) LatestID() int { return e.nextID - 1 }

@@ -9,8 +9,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/ckpt"
+	"repro/internal/objstore"
 	"repro/internal/wire"
 )
 
@@ -33,6 +35,18 @@ type AgentConfig struct {
 	Engine ckpt.Config
 	// Source supplies prepare-time snapshots.
 	Source SnapshotSource
+	// Recover rebuilds the shard engine from the shard scope's manifests
+	// in the store on startup (ckpt.RecoverEngine) and loads the fleet
+	// epoch from the job's lease register, so a restarted agent rejoins
+	// the fleet — passing NextID-consensus discovery and still refusing
+	// superseded controllers — instead of coming back amnesiac.
+	Recover bool
+	// OpTimeout bounds each server-driven control operation, including
+	// the store I/O it performs. Zero means no deadline. Without one, a
+	// hung store Put during Prepare holds the agent's command mutex
+	// forever and no later command — including Abort from a new-epoch
+	// controller — can land.
+	OpTimeout time.Duration
 	// Logf receives diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -44,6 +58,9 @@ type Agent struct {
 	cfg  AgentConfig
 	eng  *ckpt.Engine
 	logf func(format string, args ...any)
+	// reg is the job's epoch/lease register; set when Recover is on so
+	// adopted epochs survive agent restarts. May be nil (legacy mode).
+	reg *Register
 
 	mu    sync.Mutex
 	epoch uint64
@@ -69,17 +86,56 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.Source == nil {
 		return nil, fmt.Errorf("ctrl: nil snapshot source")
 	}
-	ecfg := cfg.Engine
-	ecfg.JobID = wire.ShardJobID(cfg.JobID, cfg.Shard)
-	eng, err := ckpt.NewEngine(ecfg)
-	if err != nil {
-		return nil, err
-	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Agent{cfg: cfg, eng: eng, logf: logf}, nil
+	ecfg := cfg.Engine
+	ecfg.JobID = wire.ShardJobID(cfg.JobID, cfg.Shard)
+	a := &Agent{cfg: cfg, logf: logf}
+	if cfg.Recover {
+		ctx := context.Background()
+		if cfg.OpTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, cfg.OpTimeout)
+			defer cancel()
+		}
+		// A shard manifest is durable only once the controller's
+		// composite manifest — the job-level commit point — exists; a
+		// published shard manifest with no composite is debris of an
+		// aborted attempt and must not advance this shard's next ID.
+		committed := func(ctx context.Context, id int) (bool, error) {
+			_, err := cfg.Engine.Store.Stat(ctx, wire.ManifestKey(cfg.JobID, id))
+			if errors.Is(err, objstore.ErrNotFound) {
+				return false, nil
+			}
+			if err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+		eng, err := ckpt.RecoverEngine(ctx, ecfg, ckpt.RecoverOptions{Committed: committed})
+		if err != nil {
+			return nil, fmt.Errorf("ctrl: recover shard %d: %w", cfg.Shard, err)
+		}
+		reg, err := NewRegister(RegisterConfig{JobID: cfg.JobID, Store: cfg.Engine.Store})
+		if err != nil {
+			return nil, err
+		}
+		rec, err := reg.Read(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("ctrl: recover shard %d: %w", cfg.Shard, err)
+		}
+		a.eng, a.reg, a.epoch = eng, reg, rec.Epoch
+		logf("ctrl agent %d: recovered at next id %d, epoch %d", cfg.Shard, eng.NextID(), rec.Epoch)
+		return a, nil
+	}
+	eng, err := ckpt.NewEngine(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	a.eng = eng
+	return a, nil
 }
 
 // Engine returns the agent's shard engine (tests and hosting glue).
@@ -100,17 +156,48 @@ func (a *Agent) admitLocked(epoch uint64) error {
 	if epoch > a.epoch {
 		a.logf("ctrl agent %d: adopting epoch %d (was %d)", a.cfg.Shard, epoch, a.epoch)
 		a.epoch = epoch
+		if a.reg != nil {
+			// Make the adoption durable so a restarted agent still
+			// refuses the superseded controller. Best-effort: the
+			// register is a floor, and a missed write only narrows the
+			// window back to in-memory fencing.
+			if err := a.reg.ObserveEpoch(a.opCtxLocked(), epoch); err != nil {
+				a.logf("ctrl agent %d: persist epoch %d: %v", a.cfg.Shard, epoch, err)
+			}
+		}
 		a.abortPendingLocked()
 	}
 	return nil
 }
 
-// abortPendingLocked rolls back the in-flight attempt, if any.
+// opCtxLocked returns a context for store I/O issued from under the
+// command mutex outside a request (epoch persistence, rollback).
+func (a *Agent) opCtxLocked() context.Context {
+	if a.cfg.OpTimeout <= 0 {
+		return context.Background()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), a.cfg.OpTimeout)
+	_ = cancel // bounded by the timeout itself
+	return ctx
+}
+
+// abortPendingLocked rolls back the in-flight attempt, if any — unless
+// its composite manifest already committed. A controller that died
+// between the composite Put (the commit point) and Finalize leaves the
+// attempt pending on every shard; its objects are now referenced by a
+// restorable checkpoint, so the successor's epoch adoption must finalize
+// the attempt, not delete it out from under the composite.
 func (a *Agent) abortPendingLocked() {
 	if a.pending == nil {
 		return
 	}
-	ctx := context.Background()
+	ctx := a.opCtxLocked()
+	if _, err := a.cfg.Engine.Store.Stat(ctx, wire.ManifestKey(a.cfg.JobID, a.pendingID)); err == nil {
+		a.logf("ctrl agent %d: finalizing checkpoint %d (composite already committed)", a.cfg.Shard, a.pendingID)
+		a.pending.Finalize(ctx)
+		a.pending, a.pendingDense = nil, ""
+		return
+	}
 	a.logf("ctrl agent %d: aborting in-flight checkpoint %d", a.cfg.Shard, a.pendingID)
 	a.pending.Abort(ctx)
 	if a.pendingDense != "" {
@@ -334,9 +421,16 @@ func (s *AgentServer) serveConn(conn net.Conn) {
 
 // handle dispatches one request and writes its response. Fencing
 // rejections map to statusFenced so the client can distinguish them
-// from transport and execution errors.
+// from transport and execution errors. Each op runs under the agent's
+// OpTimeout (when configured) so a stalled store surfaces as a failed
+// command instead of wedging the agent's command mutex.
 func (s *AgentServer) handle(w io.Writer, req *request) error {
 	ctx := context.Background()
+	if d := s.agent.cfg.OpTimeout; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
 	a := s.agent
 	respondErr := func(err error) error {
 		status := uint8(statusError)

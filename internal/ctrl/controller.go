@@ -23,8 +23,15 @@ type ControllerConfig struct {
 	// them to shard indices via Status.
 	Agents []string
 	// Epoch is this controller's job epoch. It must exceed any previous
-	// controller's; zero auto-adopts max(agent epochs) + 1.
+	// controller's; zero auto-adopts max(agent epochs) + 1. Ignored when
+	// Lease is set.
 	Epoch uint64
+	// Lease, when set, is a live grant from the job's epoch/lease
+	// register. The controller commits under the lease's epoch and renews
+	// the lease at the start of each checkpoint and again immediately
+	// before the composite commit, refusing to commit once superseded.
+	// When nil the controller runs in legacy flag-or-max+1 epoch mode.
+	Lease *Lease
 	// KeepLast bounds retained composite checkpoints (composite manifest
 	// + dense objects; shard-level retention is each agent engine's
 	// KeepLast). Zero keeps everything.
@@ -114,6 +121,12 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 	n := len(found)
 	c.shards = n
 	c.epoch = cfg.Epoch
+	if cfg.Lease != nil {
+		// The register granted this epoch durably and monotonically; it
+		// must still beat the fleet's view (an agent may have adopted a
+		// higher epoch the register missed — fail loudly, don't commit).
+		c.epoch = cfg.Lease.Epoch()
+	}
 	if c.epoch == 0 {
 		c.epoch = maxEpoch + 1
 	} else if c.epoch <= maxEpoch {
@@ -144,6 +157,23 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 		c.runners = append(c.runners, r)
 	}
 	c.nextID = found[0].status.NextID
+	if cfg.KeepLast > 0 {
+		// Seed the GC set from the store so retention covers composites a
+		// predecessor controller committed — a restarted or failed-over
+		// controller would otherwise never sweep them and KeepLast would
+		// silently leak manifests and dense objects forever.
+		rest, err := ckpt.NewRestorer(cfg.JobID, cfg.Store)
+		if err != nil {
+			return fail(err)
+		}
+		existing, err := rest.ListManifests(ctx)
+		if err != nil {
+			return fail(fmt.Errorf("ctrl: list composites: %w", err))
+		}
+		for _, m := range existing {
+			c.manifests[m.ID] = m
+		}
+	}
 	logf("ctrl controller: job %s epoch %d, %d shards, next checkpoint %d",
 		cfg.JobID, c.epoch, n, c.nextID)
 	return c, nil
@@ -170,6 +200,11 @@ func (c *Controller) LatestID() int { return c.nextID - 1 }
 // and left to gc. On cancellation ctx.Err() is surfaced.
 func (c *Controller) Checkpoint(ctx context.Context, step uint64) (*wire.Manifest, error) {
 	id := c.nextID
+	if c.cfg.Lease != nil {
+		if err := c.cfg.Lease.Renew(ctx); err != nil {
+			return nil, fmt.Errorf("ctrl: checkpoint %d: %w", id, err)
+		}
+	}
 	fail := func(err error) (*wire.Manifest, error) {
 		ckpt.AbortShards(ctx, c.runners, id)
 		// The dense-designated agent may be the one that died after its
@@ -222,6 +257,13 @@ func (c *Controller) Checkpoint(ctx context.Context, step uint64) (*wire.Manifes
 	if err != nil {
 		return fail(fmt.Errorf("ctrl: encode composite manifest: %w", err))
 	}
+	if c.cfg.Lease != nil {
+		// Last fencing check before the commit point: a controller whose
+		// lease a standby has taken over must abort, not commit.
+		if err := c.cfg.Lease.Renew(ctx); err != nil {
+			return fail(fmt.Errorf("ctrl: lease lost before commit: %w", err))
+		}
+	}
 	if err := c.cfg.Store.Put(ctx, wire.ManifestKey(c.cfg.JobID, id), manBlob); err != nil {
 		return fail(fmt.Errorf("ctrl: store composite manifest: %w", err))
 	}
@@ -233,12 +275,30 @@ func (c *Controller) Checkpoint(ctx context.Context, step uint64) (*wire.Manifes
 	if err := ckpt.FinalizeShards(context.WithoutCancel(ctx), c.runners, id); err != nil {
 		c.logf("ctrl controller: finalize after commit of %d: %v", id, err)
 	}
-	c.manifests[id] = man
 	c.nextID++
+	// Cache for retention only: with retention disabled the cache would
+	// grow one manifest per checkpoint, forever, on a long-running job.
 	if c.cfg.KeepLast > 0 {
+		c.manifests[id] = man
 		c.gc(ctx)
 	}
 	return man, nil
+}
+
+// Health polls every agent's Status — per-shard epoch, next checkpoint
+// ID, and in-flight attempt — for operators, standby controllers, and
+// tests. Read-only: agents apply no fencing to Status, so monitoring
+// never perturbs commit state.
+func (c *Controller) Health(ctx context.Context) ([]*StatusReply, error) {
+	out := make([]*StatusReply, 0, len(c.remotes))
+	for _, r := range c.remotes {
+		st, err := r.Client().Status(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("ctrl: status %s: %w", r.Client().Addr(), err)
+		}
+		out = append(out, st)
+	}
+	return out, nil
 }
 
 // gc deletes composite-level objects (manifest + dense) of checkpoints

@@ -1,0 +1,138 @@
+package ctrl
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/objstore"
+	"repro/internal/simclock"
+)
+
+func testRegister(t *testing.T, store objstore.Store, clock simclock.Clock, holder string) *Register {
+	t.Helper()
+	reg, err := NewRegister(RegisterConfig{
+		JobID: "leasejob", Store: store, Holder: holder,
+		TTL: 10 * time.Second, Clock: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestLeaseAcquireRenewExpire(t *testing.T) {
+	ctx := context.Background()
+	store := objstore.NewMemStore(objstore.MemConfig{})
+	clock := simclock.NewSim(time.Time{})
+	regA := testRegister(t, store, clock, "a")
+	regB := testRegister(t, store, clock, "b")
+
+	leaseA, err := regA.Acquire(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaseA.Epoch() != 1 {
+		t.Fatalf("first grant epoch = %d, want 1", leaseA.Epoch())
+	}
+	// A second claimant is refused while the grant is live.
+	if _, err := regB.Acquire(ctx, 0); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("concurrent acquire err = %v, want ErrLeaseHeld", err)
+	}
+	// Renewal keeps the grant alive past the original TTL.
+	clock.Advance(6 * time.Second)
+	if err := leaseA.Renew(ctx); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(6 * time.Second)
+	if _, err := regB.Acquire(ctx, 0); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("acquire after renew err = %v, want ErrLeaseHeld", err)
+	}
+
+	// The holder stops renewing; after expiry the standby takes over at
+	// the next epoch — no manual assignment.
+	clock.Advance(11 * time.Second)
+	leaseB, err := regB.Acquire(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaseB.Epoch() != 2 {
+		t.Fatalf("takeover epoch = %d, want 2", leaseB.Epoch())
+	}
+	// The superseded holder can no longer renew or commit.
+	if err := leaseA.Renew(ctx); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("superseded renew err = %v, want ErrLeaseHeld", err)
+	}
+	// Releasing keeps the epoch floor: the next grant still moves up.
+	if err := leaseB.Release(ctx); err != nil {
+		t.Fatal(err)
+	}
+	leaseA2, err := regA.Acquire(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaseA2.Epoch() != 3 {
+		t.Fatalf("epoch after release = %d, want 3 (epochs are durable and monotonic)", leaseA2.Epoch())
+	}
+}
+
+func TestLeaseExplicitEpochFloor(t *testing.T) {
+	ctx := context.Background()
+	store := objstore.NewMemStore(objstore.MemConfig{})
+	clock := simclock.NewSim(time.Time{})
+	regA := testRegister(t, store, clock, "a")
+
+	lease, err := regA.Acquire(ctx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Epoch() != 5 {
+		t.Fatalf("explicit epoch grant = %d, want 5", lease.Epoch())
+	}
+	if err := lease.Release(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// A relaunched controller presenting a stale explicit epoch is
+	// refused by the register before it ever dials an agent.
+	if _, err := regA.Acquire(ctx, 5); err == nil || errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("stale explicit epoch err = %v, want non-lease refusal", err)
+	}
+}
+
+func TestRegisterObserveEpochIsAFloor(t *testing.T) {
+	ctx := context.Background()
+	store := objstore.NewMemStore(objstore.MemConfig{})
+	clock := simclock.NewSim(time.Time{})
+	reg := testRegister(t, store, clock, "a")
+
+	if err := reg.ObserveEpoch(ctx, 9); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := reg.Read(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Epoch != 9 {
+		t.Fatalf("observed epoch = %d, want 9", rec.Epoch)
+	}
+	// Lower observations never move the floor down.
+	if err := reg.ObserveEpoch(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = reg.Read(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Epoch != 9 {
+		t.Fatalf("epoch after lower observation = %d, want 9", rec.Epoch)
+	}
+	// The next grant starts above everything the fleet has seen.
+	lease, err := reg.Acquire(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Epoch() != 10 {
+		t.Fatalf("grant after observation = %d, want 10", lease.Epoch())
+	}
+}

@@ -13,6 +13,7 @@ package shardhost
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/ckpt"
 	"repro/internal/ctrl"
@@ -45,6 +46,14 @@ type Config struct {
 	// Engine is the shard engine template (Policy, Quant, ChunkRows,
 	// Uploaders, KeepLast). JobID and Store are filled in by the host.
 	Engine ckpt.Config
+	// Recover rebuilds the shard engine from the store's manifests and
+	// loads the durable fleet epoch on startup, so a restarted host
+	// rejoins the fleet (the replica itself re-trains deterministically
+	// from the seed to whatever step the next prepare requests).
+	Recover bool
+	// OpTimeout bounds each control operation, including its store I/O;
+	// zero means no deadline.
+	OpTimeout time.Duration
 	// Logf receives diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -119,12 +128,14 @@ func Start(cfg Config) (*Host, error) {
 	ecfg := cfg.Engine
 	ecfg.Store = store
 	agent, err := ctrl.NewAgent(ctrl.AgentConfig{
-		JobID:  cfg.JobID,
-		Shard:  cfg.Shard,
-		Shards: cfg.Shards,
-		Engine: ecfg,
-		Source: h.snapshotAt,
-		Logf:   cfg.Logf,
+		JobID:     cfg.JobID,
+		Shard:     cfg.Shard,
+		Shards:    cfg.Shards,
+		Engine:    ecfg,
+		Source:    h.snapshotAt,
+		Recover:   cfg.Recover,
+		OpTimeout: cfg.OpTimeout,
+		Logf:      cfg.Logf,
 	})
 	if err != nil {
 		store.Close()

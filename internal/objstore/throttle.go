@@ -55,6 +55,19 @@ func (t *Throttle) Wait(ctx context.Context, n int64) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// On the real clock, honor cancellation mid-wait: a caller with a
+	// deadline must not stay wedged behind a saturated link. Virtual
+	// clocks advance instantly, so they keep the plain Sleep path.
+	if _, isReal := t.clock.(simclock.Real); isReal {
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		return ctx.Err()
+	}
 	t.clock.Sleep(wait)
 	return ctx.Err()
 }
