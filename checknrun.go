@@ -80,7 +80,10 @@ type Config struct {
 	JobID string
 
 	// StoreAddr, if non-empty, connects to a remote TCP object store
-	// (cmd/objstored). Empty uses an in-process store.
+	// (cmd/objstored) — a single address, or a comma-separated fleet of
+	// objstored processes routed by consistent hashing (a single address
+	// expands through the fleet's membership record when published; see
+	// objstore.Connect). Empty uses an in-process store.
 	StoreAddr string
 	// Replication is the simulated storage replication factor for the
 	// in-process store (default 1).
@@ -203,7 +206,7 @@ func Open(cfg Config) (*System, error) {
 	var store objstore.Store
 	ownsStore := true
 	if cfg.StoreAddr != "" {
-		store, err = objstore.Dial(cfg.StoreAddr, objstore.ClientConfig{})
+		store, err = objstore.Connect(cfg.StoreAddr, objstore.ClientConfig{})
 		if err != nil {
 			reader.Close()
 			return nil, fmt.Errorf("checknrun: store: %w", err)

@@ -6,10 +6,13 @@
 //     data plane together)
 //   - BENCH_wire.json: chunk encode/decode, quantization and pack/unpack
 //     microbenchmarks (the data-plane hot path in isolation)
+//   - BENCH_store.json: routed-store Put/Get sweep over payload size ×
+//     store-process count × concurrency (aggregate MB/s + p50/p99)
 //
 // Usage:
 //
-//	benchci -out BENCH_coordinator.json -wire-out BENCH_wire.json -benchtime 1s
+//	benchci -out BENCH_coordinator.json -wire-out BENCH_wire.json \
+//	    -store-out BENCH_store.json -benchtime 1s
 package main
 
 import (
@@ -33,6 +36,9 @@ type Result struct {
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 	PayloadBytes  float64 `json:"payload_bytes_per_op"`
 	BenchtimeFlag string  `json:"benchtime"`
+	// Metrics carries every custom b.ReportMetric extra (e.g. the store
+	// sweep's p50_ns/p99_ns latency percentiles).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // runSuite benchmarks every case and writes the JSON artifact to path.
@@ -49,6 +55,15 @@ func runSuite(path, prefix, benchtime string, cases []bench.Case) {
 			AllocsPerOp:   r.AllocsPerOp(),
 			PayloadBytes:  r.Extra["payload_bytes/op"],
 			BenchtimeFlag: benchtime,
+		}
+		for k, v := range r.Extra {
+			if k == "payload_bytes/op" {
+				continue
+			}
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[k] = v
 		}
 		results = append(results, res)
 		fmt.Printf("%-36s %10d ns/op %10.1f MB/s %6d allocs/op %12.0f payload B/op\n",
@@ -68,6 +83,7 @@ func main() {
 	testing.Init()
 	out := flag.String("out", "BENCH_coordinator.json", "coordinator artifact path (empty = skip)")
 	wireOut := flag.String("wire-out", "BENCH_wire.json", "wire/quant artifact path (empty = skip)")
+	storeOut := flag.String("store-out", "BENCH_store.json", "routed-store sweep artifact path (empty = skip)")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark budget (e.g. 1s, 100x)")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
@@ -76,6 +92,9 @@ func main() {
 
 	if *wireOut != "" {
 		runSuite(*wireOut, "Wire/", *benchtime, bench.WireCases())
+	}
+	if *storeOut != "" {
+		runSuite(*storeOut, "Store/", *benchtime, bench.StoreCases())
 	}
 	if *out != "" {
 		runSuite(*out, "Coordinator/", *benchtime, bench.CoordinatorCases())

@@ -34,6 +34,7 @@ import (
 
 func main() {
 	storeAddr := flag.String("store", "127.0.0.1:7070", "TCP object store address")
+	stores := flag.String("stores", "", "comma-separated object store fleet (consistent-hash routed; overrides -store)")
 	job := flag.String("job", "demo", "job ID")
 	agents := flag.String("agents", "", "comma-separated shard-agent control addresses")
 	epoch := flag.Uint64("epoch", 0, "explicit epoch to demand from the register (0 = next)")
@@ -56,7 +57,11 @@ func main() {
 		logger.Fatal("-standby requires the lease register (-no-lease given)")
 	}
 
-	store, err := objstore.Dial(*storeAddr, objstore.ClientConfig{})
+	storeSpec := *storeAddr
+	if *stores != "" {
+		storeSpec = *stores
+	}
+	store, err := objstore.Connect(storeSpec, objstore.ClientConfig{})
 	if err != nil {
 		logger.Fatalf("dial store: %v", err)
 	}

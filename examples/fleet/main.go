@@ -21,6 +21,7 @@ import (
 	"os/exec"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -153,7 +154,8 @@ func distributedDemo() {
 
 func runDistributedDemo() error {
 	const shards = 3
-	fmt.Println("\n--- distributed fleet: controller -> shardd x3 -> objstored ---")
+	const storeProcs = 2
+	fmt.Println("\n--- distributed fleet: controller -> shardd x3 -> objstored x2 ---")
 
 	var children []*exec.Cmd
 	defer func() {
@@ -165,19 +167,37 @@ func runDistributedDemo() error {
 		}
 	}()
 
-	storeProc, storeAddr, err := fork("store")
-	if err != nil {
+	// The data plane is itself a fleet: N objstored processes over which
+	// the checkpoint keyspace is consistent-hash routed. Every process —
+	// shardds, this controller, the restore below — connects with the
+	// same member list and therefore places every key identically.
+	storeAddrs := make([]string, storeProcs)
+	for i := 0; i < storeProcs; i++ {
+		proc, addr, err := fork("store")
+		if err != nil {
+			return err
+		}
+		children = append(children, proc)
+		storeAddrs[i] = addr
+		fmt.Printf("objstored %d pid %d on %s\n", i, proc.Process.Pid, addr)
+	}
+	storeSpec := strings.Join(storeAddrs, ",")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Publish the membership record to every member, so a process that
+	// knows any single address can still discover the whole store fleet.
+	if err := objstore.PublishMembership(ctx, storeAddrs, objstore.ClientConfig{}); err != nil {
 		return err
 	}
-	children = append(children, storeProc)
-	fmt.Printf("objstored pid %d on %s\n", storeProc.Process.Pid, storeAddr)
 
 	addrs := make([]string, shards)
 	for s := 0; s < shards; s++ {
 		proc, addr, err := fork("shard",
 			"FLEET_SHARD="+strconv.Itoa(s),
 			"FLEET_SHARDS="+strconv.Itoa(shards),
-			"FLEET_STORE="+storeAddr,
+			"FLEET_STORE="+storeSpec,
 		)
 		if err != nil {
 			return err
@@ -187,14 +207,17 @@ func runDistributedDemo() error {
 		fmt.Printf("shardd %d pid %d on %s\n", s, proc.Process.Pid, addr)
 	}
 
-	store, err := objstore.Dial(storeAddr, objstore.ClientConfig{})
+	// Connect via a single seed address: the membership record expands it
+	// to the full routed fleet, proving discovery round-trips.
+	store, err := objstore.Connect(storeAddrs[0], objstore.ClientConfig{})
 	if err != nil {
 		return err
 	}
 	defer store.Close()
-
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
-	defer cancel()
+	if rs, ok := store.(*objstore.RoutedStore); ok {
+		fmt.Printf("store plane: %d backends discovered from seed %s\n",
+			len(rs.Backends()), storeAddrs[0])
+	}
 
 	// Epochs come from the job's store-backed lease register, not flags:
 	// each controller incarnation acquires the commit lease, durably
@@ -235,7 +258,7 @@ func runDistributedDemo() error {
 	// manifests, so discovery's NextID consensus still holds; the
 	// successor controller's lease grants the next epoch automatically.
 	fmt.Println("\n--- self-healing: SIGKILL shardd 1, rejoin + controller failover ---")
-	victim := children[2] // [0] store, [1+s] shard s
+	victim := children[storeProcs+1] // [0..storeProcs) stores, [storeProcs+s] shard s
 	victim.Process.Kill()
 	victim.Wait()
 	c.Close()
@@ -245,13 +268,13 @@ func runDistributedDemo() error {
 	proc, addr, err := fork("shard",
 		"FLEET_SHARD=1",
 		"FLEET_SHARDS="+strconv.Itoa(shards),
-		"FLEET_STORE="+storeAddr,
+		"FLEET_STORE="+storeSpec,
 		"FLEET_RECOVER=1",
 	)
 	if err != nil {
 		return err
 	}
-	children[2] = proc
+	children[storeProcs+1] = proc
 	addrs[1] = addr
 	fmt.Printf("shardd 1 restarted: pid %d on %s\n", proc.Process.Pid, addr)
 
@@ -327,5 +350,16 @@ func runDistributedDemo() error {
 		}
 	}
 	fmt.Printf("restored state is bit-identical to a replica trained to step %d\n", lastStep)
+
+	// Show how the routed keyspace actually spread over the store fleet.
+	if rs, ok := store.(*objstore.RoutedStore); ok {
+		for i, b := range rs.Backends() {
+			keys, err := b.Store.List(ctx, "")
+			if err != nil {
+				return err
+			}
+			fmt.Printf("objstored %d (%s): %d objects\n", i, b.Name, len(keys))
+		}
+	}
 	return nil
 }

@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/objstore"
+)
+
+// Store-plane benchmarks: Put/Get through the full routed stack — TCP
+// clients, consistent-hash routing over N objstored-equivalent server
+// processes. Emitted as BENCH_store.json; the acceptance bar is that
+// aggregate Put bandwidth scales near-linearly with store count.
+
+// storeBenchBW throttles each backend MemStore's writes (bytes/sec).
+// Shaping per-backend write bandwidth puts the sweep in the regime the
+// system actually runs in — writers bound by per-node storage bandwidth,
+// not by the bench host's CPU — so aggregate throughput is governed by
+// how many store processes the routed client can keep busy at once.
+const storeBenchBW = 64 << 20
+
+// storeSweepKeys is the per-worker key-ring size. Keys are distinct per
+// (worker, slot) so rendezvous hashing spreads them over the backends.
+const storeSweepKeys = 64
+
+// storeBurst scales how many operations one benchmark op issues in
+// total (conc × storeBurst). A long burst amortizes the per-op join
+// barrier: with only one Put per worker per op, the op's cost is the
+// serial time of whichever backend the hash happened to load most that
+// round; over a burst the spread averages out and aggregate bandwidth
+// reflects the fleet, not the unluckiest backend.
+const storeBurst = 16
+
+func storeKey(worker, slot int) string {
+	return fmt.Sprintf("bench/sweep/w%02d/obj%04d", worker, slot)
+}
+
+// storeFleet spins up n TCP store servers and a routed client over them.
+func storeFleet(b *testing.B, n int) objstore.Store {
+	b.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		backend := objstore.NewMemStore(objstore.MemConfig{WriteBandwidth: storeBenchBW})
+		srv, err := objstore.NewServer("127.0.0.1:0", backend, objstore.ServerConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr()
+	}
+	store, err := objstore.Connect(strings.Join(addrs, ","), objstore.ClientConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { store.Close() })
+	return store
+}
+
+// reportPercentiles folds the per-op latency samples into p50/p99
+// extras on the benchmark result.
+func reportPercentiles(b *testing.B, samples []time.Duration) {
+	if len(samples) == 0 {
+		return
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(samples)-1))
+		return float64(samples[i])
+	}
+	b.ReportMetric(pct(0.50), "p50_ns")
+	b.ReportMetric(pct(0.99), "p99_ns")
+}
+
+// storeSweep is one cell of the payload × store-count × concurrency
+// matrix. One benchmark op = conc concurrent operations of payload
+// bytes each, so MB/s is the aggregate bandwidth across the fleet.
+func storeSweep(stores, payload, conc int, get bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		ctx := context.Background()
+		store := storeFleet(b, stores)
+		buf := make([]byte, payload)
+		for i := range buf {
+			buf[i] = byte(i * 131)
+		}
+		if get {
+			for w := 0; w < conc; w++ {
+				for s := 0; s < storeSweepKeys; s++ {
+					if err := store.Put(ctx, storeKey(w, s), buf); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		lat := make([][]time.Duration, conc)
+		errs := make([]error, conc)
+		b.ReportAllocs()
+		b.SetBytes(int64(conc * storeBurst * payload))
+		b.ResetTimer()
+		total := conc * storeBurst
+		for i := 0; i < b.N; i++ {
+			// Workers steal tasks from a shared counter rather than owning
+			// a fixed slice of keys: a worker stuck behind the hash's
+			// hottest backend holds only its current task while the others
+			// drain the rest, so the op's wall time converges on the
+			// loaded backend's serial floor instead of on worker luck.
+			var next int64 = -1
+			var wg sync.WaitGroup
+			for w := 0; w < conc; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for {
+						t := int(atomic.AddInt64(&next, 1))
+						if t >= total {
+							return
+						}
+						key := storeKey(t%conc, (i*storeBurst+t/conc)%storeSweepKeys)
+						t0 := time.Now()
+						var err error
+						if get {
+							_, err = store.Get(ctx, key)
+						} else {
+							err = store.Put(ctx, key, buf)
+						}
+						if err != nil {
+							if errs[w] == nil {
+								errs[w] = err
+							}
+							return
+						}
+						if len(lat[w]) < 1<<14 {
+							lat[w] = append(lat[w], time.Since(t0))
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		var all []time.Duration
+		for _, l := range lat {
+			all = append(all, l...)
+		}
+		reportPercentiles(b, all)
+	}
+}
+
+func sizeLabel(n int) string {
+	if n >= 1<<20 && n%(1<<20) == 0 {
+		return fmt.Sprintf("%dMiB", n>>20)
+	}
+	return fmt.Sprintf("%dKiB", n>>10)
+}
+
+// StoreCases enumerates the routed-store sweep: payload size ×
+// store-process count × client concurrency, Put everywhere plus Get at
+// the fan-out concurrency. Case names read Put_64KiB_s4_c8 = 64 KiB
+// payloads, 4 store processes, 8 concurrent clients.
+func StoreCases() []Case {
+	payloads := []int{64 << 10, 1 << 20}
+	storeCounts := []int{1, 2, 4}
+	concs := []int{1, 8}
+	var cases []Case
+	for _, p := range payloads {
+		for _, s := range storeCounts {
+			for _, c := range concs {
+				cases = append(cases, Case{
+					Name: fmt.Sprintf("Put_%s_s%d_c%d", sizeLabel(p), s, c),
+					Run:  storeSweep(s, p, c, false),
+				})
+			}
+		}
+	}
+	for _, p := range payloads {
+		for _, s := range []int{1, 4} {
+			cases = append(cases, Case{
+				Name: fmt.Sprintf("Get_%s_s%d_c8", sizeLabel(p), s),
+				Run:  storeSweep(s, p, 8, true),
+			})
+		}
+	}
+	return cases
+}

@@ -1,0 +1,15 @@
+package bench
+
+import "testing"
+
+// BenchmarkStore runs the routed-store Put/Get sweep; CI runs it with
+// -benchtime=1x in the test job so the bodies can't rot, and cmd/benchci
+// re-runs them for the BENCH_store.json artifact. The acceptance signal
+// is aggregate Put MB/s scaling near-linearly from Put_*_s1_c8 to
+// Put_*_s4_c8: with per-backend write bandwidth shaped, only the routed
+// fan-out can buy more aggregate throughput.
+func BenchmarkStore(b *testing.B) {
+	for _, c := range StoreCases() {
+		b.Run(c.Name, c.Run)
+	}
+}

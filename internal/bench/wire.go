@@ -76,7 +76,7 @@ func chunkEncode(p quant.Params, compact bool) func(b *testing.B) {
 	}
 }
 
-func chunkDecode(p quant.Params, compact bool) func(b *testing.B) {
+func chunkDecode(p quant.Params, compact, alias bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		chunk := buildChunk(b, p)
 		var blob []byte
@@ -93,7 +93,59 @@ func chunkDecode(p quant.Params, compact bool) func(b *testing.B) {
 		b.SetBytes(int64(len(blob)))
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := wire.DecodeChunk(blob); err != nil {
+			if alias {
+				_, err = wire.DecodeChunkAlias(blob)
+			} else {
+				_, err = wire.DecodeChunk(blob)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// quantizeSampledCase is the chunk-sampled adaptive search: the first
+// rows of each "chunk" run the full greedy walk, the rest only score the
+// harvested candidate trajectories.
+func quantizeSampledCase(p quant.Params, every, chunkRows int) func(b *testing.B) {
+	return func(b *testing.B) {
+		vecs, _ := benchVectors()
+		var q quant.QVector
+		var s quant.Scratch
+		b.ReportAllocs()
+		b.SetBytes(int64(4 * benchDim))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%chunkRows == 0 {
+				s.BeginAdaptiveChunk(every)
+			}
+			if err := quant.QuantizeCachedInto(&q, vecs[i%len(vecs)], p, &s, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// quantizeCacheHitCase is the steady-state path for rows whose min/max
+// did not move between checkpoints: no search at all.
+func quantizeCacheHitCase(p quant.Params) func(b *testing.B) {
+	return func(b *testing.B) {
+		vecs, _ := benchVectors()
+		ents := make([]quant.RowRange, len(vecs))
+		var q quant.QVector
+		var s quant.Scratch
+		for i, x := range vecs {
+			if err := quant.QuantizeCachedInto(&q, x, p, &s, &ents[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.SetBytes(int64(4 * benchDim))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j := i % len(vecs)
+			if err := quant.QuantizeCachedInto(&q, vecs[j], p, &s, &ents[j]); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -193,13 +245,17 @@ func WireCases() []Case {
 		{Name: "ChunkEncode_v1", Run: chunkEncode(asym4, false)},
 		{Name: "ChunkEncode_fp32", Run: chunkEncode(none, true)},
 		{Name: "ChunkEncode_fp32_v1", Run: chunkEncode(none, false)},
-		{Name: "ChunkDecode", Run: chunkDecode(asym4, true)},
-		{Name: "ChunkDecode_v1", Run: chunkDecode(asym4, false)},
-		{Name: "ChunkDecode_fp32", Run: chunkDecode(none, true)},
+		{Name: "ChunkDecode", Run: chunkDecode(asym4, true, false)},
+		{Name: "ChunkDecode_v1", Run: chunkDecode(asym4, false, false)},
+		{Name: "ChunkDecode_alias", Run: chunkDecode(asym4, true, true)},
+		{Name: "ChunkDecode_alias_v1", Run: chunkDecode(asym4, false, true)},
+		{Name: "ChunkDecode_fp32", Run: chunkDecode(none, true, false)},
 		{Name: "Quantize_none32", Run: quantizeCase(none)},
 		{Name: "Quantize_asym8", Run: quantizeCase(asym8)},
 		{Name: "Quantize_asym4", Run: quantizeCase(asym4)},
 		{Name: "Quantize_adaptive4", Run: quantizeCase(adaptive4)},
+		{Name: "Quantize_adaptive4_sampled", Run: quantizeSampledCase(adaptive4, 8, benchChunkRows)},
+		{Name: "Quantize_adaptive4_cachehit", Run: quantizeCacheHitCase(adaptive4)},
 		{Name: "Dequantize_none32", Run: dequantizeCase(none)},
 		{Name: "Dequantize_asym4", Run: dequantizeCase(asym4)},
 	}

@@ -37,6 +37,10 @@ func storeDump(t *testing.T, ctx context.Context, store objstore.Store) map[stri
 // incremental checkpoint through an engine with the given encoder count,
 // returning the store contents.
 func writeWithEncoders(t *testing.T, encoders int, p quant.Params, compact bool) map[string][]byte {
+	return writeWithEncodersSampling(t, encoders, p, compact, 0)
+}
+
+func writeWithEncodersSampling(t *testing.T, encoders int, p quant.Params, compact bool, sampling int) map[string][]byte {
 	t.Helper()
 	m, err := model.New(testModelConfig(), 2)
 	if err != nil {
@@ -48,13 +52,14 @@ func writeWithEncoders(t *testing.T, encoders int, p quant.Params, compact bool)
 	}
 	store := objstore.NewMemStore(objstore.MemConfig{})
 	eng, err := NewEngine(Config{
-		JobID:           "det",
-		Store:           store,
-		Policy:          PolicyOneShot,
-		Quant:           p,
-		ChunkRows:       64,
-		Encoders:        encoders,
-		CompactMetadata: compact,
+		JobID:            "det",
+		Store:            store,
+		Policy:           PolicyOneShot,
+		Quant:            p,
+		ChunkRows:        64,
+		Encoders:         encoders,
+		CompactMetadata:  compact,
+		AdaptiveSampling: sampling,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -123,6 +128,43 @@ func TestParallelEncodeDeterministic(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestAdaptiveSamplingExactModeMatchesLegacy proves AdaptiveSampling: 1
+// is the legacy per-row search bit-for-bit at the engine level: every
+// stored object matches an engine with the fast path (range cache and
+// chunk sampling) disabled entirely, across a full + incremental pair.
+// The sampled default (8) must in turn stay deterministic across worker
+// counts — TestParallelEncodeDeterministic covers that — and produce the
+// same object keys with restorable contents.
+func TestAdaptiveSamplingExactModeMatchesLegacy(t *testing.T) {
+	p := quant.Params{Method: quant.MethodAdaptive, Bits: 4, NumBins: 25, Ratio: 1}
+	legacy := writeWithEncodersSampling(t, 4, p, false, -1)
+	exact := writeWithEncodersSampling(t, 4, p, false, 1)
+	if len(legacy) != len(exact) {
+		t.Fatalf("object count %d != %d", len(exact), len(legacy))
+	}
+	for k, want := range legacy {
+		got, ok := exact[k]
+		if !ok {
+			t.Fatalf("exact-mode run missing object %s", k)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("object %s differs between legacy and exact-mode engines (%d vs %d bytes)",
+				k, len(want), len(got))
+		}
+	}
+	// The sampled default writes the same object set (keys are derived
+	// from row positions, not contents).
+	sampled := writeWithEncodersSampling(t, 4, p, false, 8)
+	if len(sampled) != len(legacy) {
+		t.Fatalf("sampled run wrote %d objects, legacy %d", len(sampled), len(legacy))
+	}
+	for k := range legacy {
+		if _, ok := sampled[k]; !ok {
+			t.Fatalf("sampled run missing object %s", k)
+		}
 	}
 }
 

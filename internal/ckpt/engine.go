@@ -52,6 +52,14 @@ type Config struct {
 	// automatically only to chunks whose rows share a uniform method;
 	// k-means chunks fall back to the v1 layout. Restore handles both.
 	CompactMetadata bool
+	// AdaptiveSampling tunes the adaptive quantizer's per-chunk range
+	// search: the exact greedy search runs on every AdaptiveSampling-th
+	// row of a chunk and the rows between pick from the sampled rows'
+	// harvested candidate ranges, while rows whose min/max didn't move
+	// since their last encode reuse their cached range outright. Zero
+	// means 8; 1 runs the exact search on every row (the legacy
+	// byte-for-byte behavior); negative disables the row cache too.
+	AdaptiveSampling int
 }
 
 // Engine builds and stores checkpoints for one training job. Methods are
@@ -69,6 +77,14 @@ type Engine struct {
 
 	// manifests caches committed manifests by ID for GC dependency checks.
 	manifests map[int]*wire.Manifest
+
+	// rangeCache holds, per table, each row's last adaptive quantization
+	// range keyed by the row's min/max bit patterns, so rows untouched
+	// between checkpoints skip the greedy range search entirely. Entries
+	// are written by encoder workers — safe because chunks partition the
+	// row list, so workers touch disjoint elements. Dropped whenever the
+	// quantization parameters change.
+	rangeCache map[int][]quant.RowRange
 }
 
 // NewEngine validates cfg and returns an Engine.
@@ -99,6 +115,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if !cfg.Predictor.Valid() {
 		return nil, fmt.Errorf("ckpt: invalid predictor %d", cfg.Predictor)
 	}
+	if cfg.AdaptiveSampling == 0 {
+		cfg.AdaptiveSampling = 8
+	}
 	st := newPolicyState(cfg.Policy)
 	st.predictor = cfg.Predictor
 	return &Engine{
@@ -107,6 +126,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		lastFullID: -1,
 		cumulative: make(map[int]*bitvec.Bitmap),
 		manifests:  make(map[int]*wire.Manifest),
+		rangeCache: make(map[int][]quant.RowRange),
 	}, nil
 }
 
@@ -118,6 +138,10 @@ func (e *Engine) SetQuant(p quant.Params) error {
 		if err := p.Validate(); err != nil {
 			return err
 		}
+	}
+	if p != e.cfg.Quant {
+		// Cached adaptive ranges were searched under the old parameters.
+		e.rangeCache = make(map[int][]quant.RowRange)
 	}
 	e.cfg.Quant = p
 	return nil
@@ -354,6 +378,19 @@ func (e *Engine) writeTable(ctx context.Context, ckptID int, tab *embedding.Tabl
 		tm.ChunkKeys[ci] = wire.ChunkKey(e.cfg.JobID, ckptID, tab.ID, ci)
 	}
 
+	// Size the table's adaptive range cache before workers spawn; workers
+	// then write disjoint elements (chunks partition rows), never the map.
+	var rc []quant.RowRange
+	if e.cfg.Quant.Method == quant.MethodAdaptive && e.cfg.AdaptiveSampling > 0 {
+		rc = e.rangeCache[tab.ID]
+		if len(rc) < tab.Rows {
+			grown := make([]quant.RowRange, tab.Rows)
+			copy(grown, rc)
+			rc = grown
+			e.rangeCache[tab.ID] = rc
+		}
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var totalBytes atomic.Int64
@@ -411,8 +448,15 @@ func (e *Engine) writeTable(ctx context.Context, ckptID int, tab *embedding.Tabl
 					chunk.Rows = make([]wire.Row, 0, n)
 				}
 				chunk.Rows = chunk.Rows[:0]
+				if rc != nil {
+					scratch.BeginAdaptiveChunk(e.cfg.AdaptiveSampling)
+				}
 				for j, r := range rows[start:end] {
-					if err := quant.QuantizeInto(&qrows[j], tab.Lookup(r), e.cfg.Quant, &scratch); err != nil {
+					var ent *quant.RowRange
+					if rc != nil {
+						ent = &rc[r]
+					}
+					if err := quant.QuantizeCachedInto(&qrows[j], tab.Lookup(r), e.cfg.Quant, &scratch, ent); err != nil {
 						fail(err)
 						return
 					}
@@ -641,7 +685,9 @@ func RecoverEngine(ctx context.Context, cfg Config, opts RecoverOptions) (*Engin
 				if err != nil {
 					return nil, fmt.Errorf("ckpt: recover: get %s: %w", key, err)
 				}
-				chunk, err := wire.DecodeChunk(blob)
+				// Alias decode: only row indices are read before blob
+				// goes out of scope.
+				chunk, err := wire.DecodeChunkAlias(blob)
 				if err != nil {
 					return nil, fmt.Errorf("ckpt: recover: %s: %w", key, err)
 				}

@@ -421,7 +421,10 @@ func (r *Restorer) applyChunk(ctx context.Context, w chunkWork, scratch *quant.S
 		return 0, 0, fmt.Errorf("ckpt: get %s: %w", w.key, err)
 	}
 	bytesRead = int64(len(blob))
-	chunk, err := wire.DecodeChunk(blob)
+	// Alias decode: blob is function-local and the rows are dequantized
+	// into the table before it goes out of scope, so the per-row Codes
+	// copy is pure overhead.
+	chunk, err := wire.DecodeChunkAlias(blob)
 	if err != nil {
 		return 0, bytesRead, fmt.Errorf("ckpt: %s: %w", w.key, err)
 	}

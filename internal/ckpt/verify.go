@@ -75,7 +75,9 @@ func (r *Restorer) Verify(ctx context.Context, id int) (*VerifyResult, error) {
 					continue
 				}
 				res.Bytes += int64(len(blob))
-				chunk, err := wire.DecodeChunk(blob)
+				// Alias decode: the chunk is only scanned for row indices
+				// and dims before blob goes out of scope.
+				chunk, err := wire.DecodeChunkAlias(blob)
 				if err != nil {
 					res.Problems = append(res.Problems, fmt.Sprintf("%s: %v", key, err))
 					continue

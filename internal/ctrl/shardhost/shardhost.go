@@ -30,7 +30,11 @@ type Config struct {
 	JobID  string
 	Shard  int
 	Shards int
-	// StoreAddr is the TCP object store (data plane) address.
+	// StoreAddr is the TCP object store (data plane) address — a single
+	// objstored, or a comma-separated list routed by consistent hashing
+	// (see objstore.Connect). A single address is expanded through the
+	// fleet membership record when one is published, so every shard
+	// routes identically however it was pointed at the store plane.
 	StoreAddr string
 	// ListenAddr is the control-plane listen address (e.g. "127.0.0.1:0").
 	ListenAddr string
@@ -87,7 +91,7 @@ type Host struct {
 	cluster *trainer.Cluster
 	gen     *data.Generator
 	assign  map[int]int
-	store   *objstore.Client
+	store   objstore.Store
 	agent   *ctrl.Agent
 	srv     *ctrl.AgentServer
 }
@@ -114,7 +118,7 @@ func Start(cfg Config) (*Host, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shardhost: generator: %w", err)
 	}
-	store, err := objstore.Dial(cfg.StoreAddr, objstore.ClientConfig{PoolSize: 8})
+	store, err := objstore.Connect(cfg.StoreAddr, objstore.ClientConfig{PoolSize: 8})
 	if err != nil {
 		return nil, fmt.Errorf("shardhost: store: %w", err)
 	}

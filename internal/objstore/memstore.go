@@ -2,9 +2,12 @@ package objstore
 
 import (
 	"context"
+	"hash/maphash"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/simclock"
 )
@@ -20,19 +23,37 @@ type MemConfig struct {
 	WriteBandwidth float64
 	// Clock is used for throttling; nil means the real clock.
 	Clock simclock.Clock
+	// Stripes overrides the internal lock-stripe count (rounded up to a
+	// power of two). Zero picks a default scaled to GOMAXPROCS. One
+	// restores the single-lock baseline.
+	Stripes int
 }
 
 // MemStore is an in-memory Store with replication-aware accounting and
-// optional bandwidth shaping. It is safe for concurrent use.
+// optional bandwidth shaping. The key space is striped across
+// independently locked maps so concurrent Puts from many server
+// connections do not serialize on one mutex; accounting counters are
+// atomics outside the stripe locks. It is safe for concurrent use.
 type MemStore struct {
-	mu      sync.RWMutex
-	objects map[string][]byte
-	closed  bool
+	stripes []memStripe
+	mask    uint64
+	seed    maphash.Seed
+	closed  atomic.Bool
 
 	replication int
 	throttle    *Throttle
 
-	usage Usage
+	bytesWritten, bytesRead atomic.Int64
+	capacityBytes           atomic.Int64
+	objects                 atomic.Int64
+	puts, gets, deletes     atomic.Int64
+}
+
+type memStripe struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+	// Pad to a cache line so adjacent stripe locks don't false-share.
+	_ [32]byte
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -40,9 +61,26 @@ func NewMemStore(cfg MemConfig) *MemStore {
 	if cfg.Replication <= 0 {
 		cfg.Replication = 1
 	}
+	n := cfg.Stripes
+	if n <= 0 {
+		n = 4 * runtime.GOMAXPROCS(0)
+		if n < 8 {
+			n = 8
+		}
+	}
+	// Round up to a power of two for mask indexing.
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
 	s := &MemStore{
-		objects:     make(map[string][]byte),
+		stripes:     make([]memStripe, pow),
+		mask:        uint64(pow - 1),
+		seed:        maphash.MakeSeed(),
 		replication: cfg.Replication,
+	}
+	for i := range s.stripes {
+		s.stripes[i].objects = make(map[string][]byte)
 	}
 	if cfg.WriteBandwidth > 0 {
 		clock := cfg.Clock
@@ -54,32 +92,64 @@ func NewMemStore(cfg MemConfig) *MemStore {
 	return s
 }
 
-// Put stores value under key, charging bandwidth and capacity for
-// replication copies.
+func (s *MemStore) stripe(key string) *memStripe {
+	return &s.stripes[maphash.String(s.seed, key)&s.mask]
+}
+
+// Put stores a copy of value under key, charging bandwidth and capacity
+// for replication copies.
 func (s *MemStore) Put(ctx context.Context, key string, value []byte) error {
+	if err := s.admitWrite(ctx, len(value)); err != nil {
+		return err
+	}
+	return s.putStored(key, append([]byte(nil), value...))
+}
+
+// PutOwned stores value under key, taking ownership of the slice instead
+// of copying it: the caller must not read or write value afterward. The
+// TCP server hands each request's freshly decoded frame buffer straight
+// in, eliminating the copy-per-Put on the server receive path.
+func (s *MemStore) PutOwned(ctx context.Context, key string, value []byte) error {
+	if err := s.admitWrite(ctx, len(value)); err != nil {
+		return err
+	}
+	return s.putStored(key, value)
+}
+
+// admitWrite runs the pre-storage Put checks: context liveness and
+// bandwidth shaping (replication-inclusive, like a real store fanning
+// the write out to its copies).
+func (s *MemStore) admitWrite(ctx context.Context, n int) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	if s.throttle != nil {
-		if err := s.throttle.Wait(ctx, int64(len(value))*int64(s.replication)); err != nil {
+		if err := s.throttle.Wait(ctx, int64(n)*int64(s.replication)); err != nil {
 			return err
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	return nil
+}
+
+// putStored installs an owned value slice and settles the accounting.
+func (s *MemStore) putStored(key string, stored []byte) error {
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	stored := append([]byte(nil), value...)
-	if old, ok := s.objects[key]; ok {
-		s.usage.CapacityBytes -= int64(len(old)) * int64(s.replication)
+	repl := int64(s.replication)
+	st := s.stripe(key)
+	st.mu.Lock()
+	old, existed := st.objects[key]
+	st.objects[key] = stored
+	st.mu.Unlock()
+	if existed {
+		s.capacityBytes.Add(-int64(len(old)) * repl)
 	} else {
-		s.usage.Objects++
+		s.objects.Add(1)
 	}
-	s.objects[key] = stored
-	s.usage.Puts++
-	s.usage.BytesWritten += int64(len(value)) * int64(s.replication)
-	s.usage.CapacityBytes += int64(len(value)) * int64(s.replication)
+	s.puts.Add(1)
+	s.bytesWritten.Add(int64(len(stored)) * repl)
+	s.capacityBytes.Add(int64(len(stored)) * repl)
 	return nil
 }
 
@@ -88,17 +158,18 @@ func (s *MemStore) Get(ctx context.Context, key string) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	v, ok := s.objects[key]
+	st := s.stripe(key)
+	st.mu.RLock()
+	v, ok := st.objects[key]
+	st.mu.RUnlock()
 	if !ok {
 		return nil, ErrNotFound
 	}
-	s.usage.Gets++
-	s.usage.BytesRead += int64(len(v))
+	s.gets.Add(1)
+	s.bytesRead.Add(int64(len(v)))
 	return append([]byte(nil), v...), nil
 }
 
@@ -107,19 +178,22 @@ func (s *MemStore) Delete(ctx context.Context, key string) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	v, ok := s.objects[key]
+	st := s.stripe(key)
+	st.mu.Lock()
+	v, ok := st.objects[key]
+	if ok {
+		delete(st.objects, key)
+	}
+	st.mu.Unlock()
 	if !ok {
 		return ErrNotFound
 	}
-	delete(s.objects, key)
-	s.usage.Deletes++
-	s.usage.Objects--
-	s.usage.CapacityBytes -= int64(len(v)) * int64(s.replication)
+	s.deletes.Add(1)
+	s.objects.Add(-1)
+	s.capacityBytes.Add(-int64(len(v)) * int64(s.replication))
 	return nil
 }
 
@@ -128,16 +202,19 @@ func (s *MemStore) List(ctx context.Context, prefix string) ([]string, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
 	var keys []string
-	for k := range s.objects {
-		if strings.HasPrefix(k, prefix) {
-			keys = append(keys, k)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for k := range st.objects {
+			if strings.HasPrefix(k, prefix) {
+				keys = append(keys, k)
+			}
 		}
+		st.mu.RUnlock()
 	}
 	sort.Strings(keys)
 	return keys, nil
@@ -148,12 +225,13 @@ func (s *MemStore) Stat(ctx context.Context, key string) (int64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
+	if s.closed.Load() {
 		return 0, ErrClosed
 	}
-	v, ok := s.objects[key]
+	st := s.stripe(key)
+	st.mu.RLock()
+	v, ok := st.objects[key]
+	st.mu.RUnlock()
 	if !ok {
 		return 0, ErrNotFound
 	}
@@ -162,23 +240,25 @@ func (s *MemStore) Stat(ctx context.Context, key string) (int64, error) {
 
 // Close marks the store closed. Further operations return ErrClosed.
 func (s *MemStore) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
+	s.closed.Store(true)
 	return nil
 }
 
 // Usage returns a snapshot of the accounting counters.
 func (s *MemStore) Usage() Usage {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.usage
+	return Usage{
+		BytesWritten:  s.bytesWritten.Load(),
+		BytesRead:     s.bytesRead.Load(),
+		CapacityBytes: s.capacityBytes.Load(),
+		Objects:       int(s.objects.Load()),
+		Puts:          s.puts.Load(),
+		Gets:          s.gets.Load(),
+		Deletes:       s.deletes.Load(),
+	}
 }
 
 // ResetBandwidth zeroes the cumulative bandwidth counters.
 func (s *MemStore) ResetBandwidth() {
-	s.mu.Lock()
-	s.usage.BytesWritten = 0
-	s.usage.BytesRead = 0
-	s.mu.Unlock()
+	s.bytesWritten.Store(0)
+	s.bytesRead.Store(0)
 }

@@ -54,6 +54,24 @@ type Usage struct {
 	Puts, Gets, Deletes int64
 }
 
+// OwnedPutter is an optional Store extension: PutOwned stores value
+// while taking ownership of the slice — the caller must not touch value
+// afterward. Servers use it to hand a request's decoded frame buffer
+// straight to the backend, skipping the defensive copy Put's contract
+// forces on write-behind implementations. MemStore implements it.
+type OwnedPutter interface {
+	PutOwned(ctx context.Context, key string, value []byte) error
+}
+
+// PutOwned stores value via s.PutOwned when s implements OwnedPutter,
+// falling back to a plain Put. Either way the caller relinquishes value.
+func PutOwned(ctx context.Context, s Store, key string, value []byte) error {
+	if op, ok := s.(OwnedPutter); ok {
+		return op.PutOwned(ctx, key, value)
+	}
+	return s.Put(ctx, key, value)
+}
+
 // Accountant is implemented by stores that expose usage counters.
 type Accountant interface {
 	Usage() Usage

@@ -111,7 +111,10 @@ func (s *Server) handle(w io.Writer, req *request) error {
 	ctx := context.Background()
 	switch req.op {
 	case opPut:
-		if err := s.backend.Put(ctx, req.key, req.value); err != nil {
+		// req.value is this request's freshly decoded frame buffer
+		// (readRequest allocates per request), so ownership can pass to
+		// the backend — no copy-per-Put on the server receive path.
+		if err := PutOwned(ctx, s.backend, req.key, req.value); err != nil {
 			return writeResponse(w, statusError, []byte(err.Error()))
 		}
 		return writeResponse(w, statusOK, nil)

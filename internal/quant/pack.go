@@ -205,6 +205,63 @@ func rawGetF32(dst []float32, src []byte) {
 // workers each carry their own.
 type Scratch struct {
 	codes []uint32
+
+	// Adaptive chunk-sampling state, armed by BeginAdaptiveChunk and
+	// consumed by QuantizeCachedInto: cand holds the (u, d) step-lattice
+	// coordinates harvested from sampled rows' exact searches, chunkRow
+	// counts searched rows within the current chunk, and candNext is the
+	// ring overwrite cursor once cand is full.
+	sampleEvery int
+	chunkRow    int
+	candNext    int
+	cand        [][2]int32
+}
+
+// maxAdaptiveCandidates bounds a chunk's harvested candidate list; older
+// candidates are overwritten ring-style, keeping the per-row evaluation
+// cost flat for pathological chunks whose sampled rows all disagree.
+const maxAdaptiveCandidates = 8
+
+// BeginAdaptiveChunk arms s's adaptive chunk-sampled search: until the
+// next call, QuantizeCachedInto runs the exact greedy range search only
+// on every sampleEvery-th row it actually computes (cache hits don't
+// count) and serves the rows in between from the harvested candidate
+// ranges. sampleEvery <= 1 disarms sampling (every row searches exactly).
+// Call at each chunk boundary: candidates never leak across chunks, so
+// a chunk's encoded bytes depend only on its own rows (plus any caller-
+// provided cross-checkpoint RowRange cache), keeping parallel chunk
+// encoding deterministic.
+func (s *Scratch) BeginAdaptiveChunk(sampleEvery int) {
+	s.sampleEvery = sampleEvery
+	s.chunkRow = 0
+	s.candNext = 0
+	s.cand = s.cand[:0]
+}
+
+// ChunkSearches reports how many rows of the current chunk went through
+// a range computation (exact or candidate-based) rather than a RowRange
+// cache hit — observability for tests asserting the steady-state path.
+func (s *Scratch) ChunkSearches() int { return s.chunkRow }
+
+// noteCandidate records a sampled row's best (u, d) step coordinates,
+// deduplicating and ring-overwriting past maxAdaptiveCandidates. (0, 0)
+// is not recorded: the full range is always evaluated anyway.
+func (s *Scratch) noteCandidate(u, d int) {
+	if u == 0 && d == 0 {
+		return
+	}
+	c := [2]int32{int32(u), int32(d)}
+	for _, have := range s.cand {
+		if have == c {
+			return
+		}
+	}
+	if len(s.cand) < maxAdaptiveCandidates {
+		s.cand = append(s.cand, c)
+		return
+	}
+	s.cand[s.candNext] = c
+	s.candNext = (s.candNext + 1) % maxAdaptiveCandidates
 }
 
 // codeBuf returns an n-element code staging buffer, growing the backing

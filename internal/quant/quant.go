@@ -339,31 +339,156 @@ func uniformL2(x []float32, bits int, lo, hi float32) float64 {
 // best range seen across all iterations.
 func adaptiveRange(x []float32, bits, numBins int, ratio float64) (lo, hi float32) {
 	origLo, origHi := minMax(x)
+	lo, hi, _, _ = adaptiveRangeFrom(x, bits, numBins, ratio, origLo, origHi)
+	return lo, hi
+}
+
+// adaptiveRangeFrom is the greedy search with the vector's min/max
+// precomputed by the caller. Alongside the best range it reports how many
+// bottom (u) and top (d) steps the best range sits from the full range —
+// the coordinates QuantizeCachedInto harvests as per-chunk candidates.
+// The best range is always a node of the step lattice reached by u
+// repeated `lo += step` additions and d repeated `hi -= step`
+// subtractions, so replaying those counts reproduces it bit-exactly.
+func adaptiveRangeFrom(x []float32, bits, numBins int, ratio float64, origLo, origHi float32) (lo, hi float32, bestU, bestD int) {
 	rangeF := float64(origHi - origLo)
 	if rangeF <= 0 || numBins < 1 {
-		return origLo, origHi
+		return origLo, origHi, 0, 0
 	}
 	step := float32(rangeF / float64(numBins))
 	bestLo, bestHi := origLo, origHi
 	bestErr := uniformL2(x, bits, origLo, origHi)
 	curLo, curHi := origLo, origHi
+	curU, curD := 0, 0
 	// Iterate while the removed span stays under ratio*range.
 	for float64(origHi-origLo)-float64(curHi-curLo) < ratio*rangeF-1e-12 {
 		upErr := uniformL2(x, bits, curLo+step, curHi)
 		dnErr := uniformL2(x, bits, curLo, curHi-step)
 		if upErr <= dnErr {
 			curLo += step
+			curU++
 			if upErr < bestErr {
 				bestErr, bestLo, bestHi = upErr, curLo, curHi
+				bestU, bestD = curU, curD
 			}
 		} else {
 			curHi -= step
+			curD++
 			if dnErr < bestErr {
 				bestErr, bestLo, bestHi = dnErr, curLo, curHi
+				bestU, bestD = curU, curD
 			}
 		}
 		if curHi-curLo <= step {
 			break
+		}
+	}
+	return bestLo, bestHi, bestU, bestD
+}
+
+// RowRange caches the adaptive search's result for one embedding row
+// across checkpoints. MnBits/MxBits are the fp32 bit patterns of the
+// row's min and max when the range was computed: if neither moved since,
+// the cached [Lo, Hi] is reused without re-running any search. For a row
+// whose bytes are unchanged this reproduces the exact search's output
+// bit-identically (the search is a deterministic function of the row);
+// for a row whose interior changed under an identical min/max it is the
+// deliberate approximation the engine opts into.
+type RowRange struct {
+	MnBits, MxBits uint32
+	Lo, Hi         float32
+	Valid          bool
+}
+
+// QuantizeCachedInto is QuantizeInto plus the engine's two adaptive-search
+// shortcuts (non-adaptive methods are dispatched to QuantizeInto
+// unchanged):
+//
+//  1. Cross-checkpoint reuse: if ent is valid and the row's min/max bit
+//     patterns match, the cached range is reused and the search skipped.
+//  2. Per-chunk candidate sampling: when the caller armed s with
+//     BeginAdaptiveChunk, only every sampleEvery-th computed row runs the
+//     full greedy search; the searched rows' best ranges are harvested as
+//     (u, d) step-lattice candidates and the rows in between pick the
+//     lowest-ℓ2 range among {full range} ∪ candidates. Candidate ranges
+//     replay the harvested step counts with this row's own step size, so
+//     a candidate that coincides with the row's true optimum is
+//     bit-identical to what the exact search would have produced.
+//
+// ent is updated with the chosen range (and may be nil; with a nil ent
+// and an unarmed s this is exactly the legacy per-row search).
+func QuantizeCachedInto(q *QVector, x []float32, p Params, s *Scratch, ent *RowRange) error {
+	if p.Method != MethodAdaptive {
+		return QuantizeInto(q, x, p, s)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if len(x) == 0 {
+		return fmt.Errorf("quant: empty vector")
+	}
+	if s == nil {
+		s = &Scratch{}
+	}
+	mn, mx := minMax(x)
+	if ent != nil && ent.Valid && ent.MnBits == f32b(mn) && ent.MxBits == f32b(mx) {
+		quantizeUniformInto(q, x, p.Bits, ent.Lo, ent.Hi, s)
+		return nil
+	}
+	lo, hi := adaptiveRangeChunk(x, p.Bits, p.NumBins, p.Ratio, s, mn, mx)
+	if ent != nil {
+		*ent = RowRange{MnBits: f32b(mn), MxBits: f32b(mx), Lo: lo, Hi: hi, Valid: true}
+	}
+	quantizeUniformInto(q, x, p.Bits, lo, hi, s)
+	return nil
+}
+
+// adaptiveRangeChunk picks the quantization range for one row under the
+// per-chunk sampling regime. Rows at the sampling cadence (and always the
+// first computed row of a chunk) run the exact greedy search and harvest
+// its best (u, d) lattice coordinates; the rest evaluate the harvested
+// candidates plus the full range and keep the ℓ2 argmin, first-wins on
+// ties, so the choice is deterministic for a deterministic input order.
+func adaptiveRangeChunk(x []float32, bits, numBins int, ratio float64, s *Scratch, origLo, origHi float32) (lo, hi float32) {
+	rangeF := float64(origHi - origLo)
+	if rangeF <= 0 || numBins < 1 {
+		return origLo, origHi
+	}
+	if s.sampleEvery <= 1 {
+		lo, hi, _, _ = adaptiveRangeFrom(x, bits, numBins, ratio, origLo, origHi)
+		return lo, hi
+	}
+	i := s.chunkRow
+	s.chunkRow++
+	if i%s.sampleEvery == 0 || len(s.cand) == 0 {
+		var u, d int
+		lo, hi, u, d = adaptiveRangeFrom(x, bits, numBins, ratio, origLo, origHi)
+		s.noteCandidate(u, d)
+		return lo, hi
+	}
+	step := float32(rangeF / float64(numBins))
+	bestLo, bestHi := origLo, origHi
+	bestErr := uniformL2(x, bits, origLo, origHi)
+	maxSteps := int(ratio * float64(numBins))
+	for _, c := range s.cand {
+		if int(c[0])+int(c[1]) > maxSteps {
+			continue // candidate would remove more than ratio*range here
+		}
+		// Replay the harvested step counts with this row's step size via
+		// the same repeated additions the greedy walk performs, so the
+		// resulting floats match the walk's bit-for-bit.
+		cLo, cHi := origLo, origHi
+		for k := int32(0); k < c[0]; k++ {
+			cLo += step
+		}
+		for k := int32(0); k < c[1]; k++ {
+			cHi -= step
+		}
+		if cHi-cLo <= 0 {
+			continue
+		}
+		if e := uniformL2(x, bits, cLo, cHi); e < bestErr {
+			bestErr, bestLo, bestHi = e, cLo, cHi
 		}
 	}
 	return bestLo, bestHi

@@ -124,7 +124,9 @@ func (c *Chunk) AppendCompactTo(dst []byte) ([]byte, error) {
 }
 
 // decodeCompact parses a CKP2 chunk (CRC already verified, magic peeked).
-func decodeCompact(body []byte) (*Chunk, error) {
+// With alias set, row codes slice straight into body instead of a copied
+// backing array — see DecodeChunkAlias for the lifetime contract.
+func decodeCompact(body []byte, alias bool) (*Chunk, error) {
 	if len(body) < 20 {
 		return nil, fmt.Errorf("wire: compact chunk header truncated")
 	}
@@ -160,7 +162,10 @@ func decodeCompact(body []byte) (*Chunk, error) {
 	}
 	c.Rows = make([]Row, n)
 	qs := make([]quant.QVector, n)
-	codesAll := append([]byte(nil), body[codesOff:codesOff+n*rowCodes]...)
+	codesAll := body[codesOff : codesOff+n*rowCodes]
+	if !alias {
+		codesAll = append([]byte(nil), codesAll...)
+	}
 	for i := 0; i < n; i++ {
 		q := &qs[i]
 		q.Bits = bits

@@ -111,8 +111,27 @@ func (c *Chunk) AppendTo(dst []byte) ([]byte, error) {
 	return dst, nil
 }
 
-// DecodeChunk parses and CRC-verifies a chunk produced by Encode.
+// DecodeChunk parses and CRC-verifies a chunk produced by Encode. The
+// returned chunk owns its memory: data may be reused or mutated freely
+// afterwards.
 func DecodeChunk(data []byte) (*Chunk, error) {
+	return decodeChunk(data, false)
+}
+
+// DecodeChunkAlias is DecodeChunk minus the per-row Codes copies: every
+// row's packed codes alias data's backing array directly (for both the
+// v1 and CKP2 layouts). The caller must keep data alive and unmodified
+// for as long as the chunk — or any row vector taken from it — is in
+// use; mutating data afterwards corrupts the decoded rows. The restore
+// paths use this on freshly fetched, function-local blobs that are
+// consumed (dequantized or index-scanned) before the blob goes out of
+// scope; anything that retains rows past the blob's lifetime must use
+// DecodeChunk.
+func DecodeChunkAlias(data []byte) (*Chunk, error) {
+	return decodeChunk(data, true)
+}
+
+func decodeChunk(data []byte, alias bool) (*Chunk, error) {
 	if len(data) < 16 {
 		return nil, fmt.Errorf("wire: chunk too short: %d bytes", len(data))
 	}
@@ -125,7 +144,7 @@ func DecodeChunk(data []byte) (*Chunk, error) {
 	case chunkMagic:
 		// v1 layout, decoded below.
 	case compactMagic:
-		return decodeCompact(body)
+		return decodeCompact(body, alias)
 	default:
 		return nil, fmt.Errorf("wire: bad chunk magic 0x%08x", m)
 	}
@@ -150,7 +169,13 @@ func DecodeChunk(data []byte) (*Chunk, error) {
 			return nil, fmt.Errorf("wire: truncated row payload at row %d", i)
 		}
 		q := &qs[i]
-		if err := q.UnmarshalBinary(body[off : off+blobLen]); err != nil {
+		var err error
+		if alias {
+			err = q.UnmarshalBinaryAlias(body[off : off+blobLen])
+		} else {
+			err = q.UnmarshalBinary(body[off : off+blobLen])
+		}
+		if err != nil {
 			return nil, fmt.Errorf("wire: row %d: %w", i, err)
 		}
 		off += blobLen
