@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	objstored -addr 127.0.0.1:7070 -replication 3 -write-bw 1073741824
+//	objstored -addr 127.0.0.1:7070 -replication 3 -write-bw 1073741824 -read-bw 1073741824
 package main
 
 import (
@@ -23,6 +23,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
 	replication := flag.Int("replication", 1, "simulated storage replication factor")
 	writeBW := flag.Float64("write-bw", 0, "write bandwidth cap in bytes/sec (0 = unlimited)")
+	readBW := flag.Float64("read-bw", 0, "read bandwidth cap in bytes/sec (0 = unlimited)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "usage report interval (0 disables)")
 	flag.Parse()
 
@@ -30,6 +31,7 @@ func main() {
 	backend := objstore.NewMemStore(objstore.MemConfig{
 		Replication:    *replication,
 		WriteBandwidth: *writeBW,
+		ReadBandwidth:  *readBW,
 	})
 	srv, err := objstore.NewServer(*addr, backend, objstore.ServerConfig{
 		Logf: objstore.Logger(logger),

@@ -42,6 +42,7 @@ func main() {
 	keep := flag.Int("keep", 0, "shard-level KeepLast retention (0 keeps everything)")
 	recoverFlag := flag.Bool("recover", true, "rebuild engine state from the store's manifests on startup (fleet rejoin)")
 	opTimeout := flag.Duration("op-timeout", 2*time.Minute, "per-operation deadline, store I/O included (0 = none)")
+	connectWait := flag.Duration("connect-wait", 30*time.Second, "retry window for the initial store connect, jittered backoff (0 = single attempt)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, fmt.Sprintf("shardd[%d]: ", *shard), log.LstdFlags)
@@ -59,17 +60,18 @@ func main() {
 		ecfg.Quant = quant.Params{Method: quant.MethodAsymmetric, Bits: *quantBits}
 	}
 	host, err := shardhost.Start(shardhost.Config{
-		JobID:      *job,
-		Shard:      *shard,
-		Shards:     *shards,
-		StoreAddr:  storeSpec,
-		ListenAddr: *addr,
-		Seed:       *seed,
-		BatchSize:  *batch,
-		Engine:     ecfg,
-		Recover:    *recoverFlag,
-		OpTimeout:  *opTimeout,
-		Logf:       objstore.Logger(logger),
+		JobID:       *job,
+		Shard:       *shard,
+		Shards:      *shards,
+		StoreAddr:   storeSpec,
+		ListenAddr:  *addr,
+		Seed:        *seed,
+		BatchSize:   *batch,
+		Engine:      ecfg,
+		Recover:     *recoverFlag,
+		OpTimeout:   *opTimeout,
+		ConnectWait: *connectWait,
+		Logf:        objstore.Logger(logger),
 	})
 	if err != nil {
 		logger.Fatalf("start: %v", err)

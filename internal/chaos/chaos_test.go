@@ -1,0 +1,138 @@
+package chaos
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func runScenario(t *testing.T, sc *Scenario, rcfg RunnerConfig) *Result {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	rcfg.Logf = t.Logf
+	res, err := Run(ctx, sc, rcfg)
+	if err != nil {
+		t.Fatalf("scenario %s: %v", sc.Name, err)
+	}
+	return res
+}
+
+// TestScenarioMatrix runs the builtin campaigns in-process — the small
+// matrix under -short (the per-PR CI job), the full matrix otherwise.
+func TestScenarioMatrix(t *testing.T) {
+	scenarios := BuiltinScenarios()
+	if testing.Short() {
+		scenarios = SmallScenarios()
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			res := runScenario(t, sc, RunnerConfig{})
+			if !res.Passed() {
+				for _, v := range res.Violations {
+					t.Errorf("invariant violated: %s", v)
+				}
+			}
+			if len(res.Committed) == 0 {
+				t.Fatal("campaign committed no checkpoints — the scenario tested nothing")
+			}
+			for _, step := range res.Steps {
+				t.Logf("step %d %-10s %5dms+%4dms %s", step.Index, step.Op, step.ExecMs, step.CheckMs, step.Detail)
+			}
+		})
+	}
+}
+
+// TestSmallMatrixNamesExist guards the CI subset against renames.
+func TestSmallMatrixNamesExist(t *testing.T) {
+	if len(SmallScenarios()) < 3 {
+		t.Fatal("small matrix must keep at least 3 campaigns")
+	}
+	for _, sc := range SmallScenarios() {
+		if sc == nil {
+			t.Fatal("small matrix names a scenario that no longer exists")
+		}
+	}
+}
+
+// TestCheckerFiresOnInjectedPartialComposite is the harness's red test:
+// with the commit fence deliberately bypassed — a composite manifest
+// written whose shard manifests were never stored — the invariant
+// checker MUST report violations. A checker that stays green here would
+// be decorative.
+func TestCheckerFiresOnInjectedPartialComposite(t *testing.T) {
+	sc := &Scenario{
+		Name:  "red-partial-composite",
+		Fleet: FleetSpec{Shards: 2, Stores: 2},
+		Steps: []Step{
+			{Op: "lead", Holder: "leader-0"},
+			{Op: "checkpoint", Step: 4},
+			{Op: "inject-partial-composite", ID: 1},
+		},
+	}
+	res := runScenario(t, sc, RunnerConfig{AllowInjection: true})
+	if res.Passed() {
+		t.Fatal("checker stayed green with a torn composite manifest in the store")
+	}
+	byInv := map[string]bool{}
+	for _, v := range res.Violations {
+		byInv[v.Invariant] = true
+	}
+	if !byInv["complete-composites"] {
+		t.Errorf("torn composite not reported as complete-composites violation: %v", res.Violations)
+	}
+	if !byInv["id-convergence"] {
+		t.Errorf("unexpected composite ID not reported as id-convergence violation: %v", res.Violations)
+	}
+	// The violations must pinpoint the injected composite, and only the
+	// steps after injection may be red.
+	for _, step := range res.Steps[:2] {
+		if len(step.Violations) != 0 {
+			t.Errorf("step %d (%s) red before the injection: %v", step.Index, step.Op, step.Violations)
+		}
+	}
+}
+
+// TestInjectionGated proves scenarios can't corrupt state unless the
+// runner explicitly allows it.
+func TestInjectionGated(t *testing.T) {
+	sc := &Scenario{
+		Name:  "gated",
+		Fleet: FleetSpec{Shards: 1, Stores: 1},
+		Steps: []Step{
+			{Op: "lead", Holder: "leader-0"},
+			{Op: "checkpoint", Step: 2},
+			{Op: "inject-partial-composite", ID: 1},
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	_, err := Run(ctx, sc, RunnerConfig{Logf: t.Logf})
+	if err == nil || !strings.Contains(err.Error(), "AllowInjection") {
+		t.Fatalf("injection without AllowInjection = %v, want gating error", err)
+	}
+}
+
+func TestParseScenarioRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseScenario([]byte(`{"name":"x","steps":[{"op":"sleep","millis":5}]}`)); err == nil {
+		t.Fatal("typo'd step field parsed silently")
+	}
+	sc, err := ParseScenario([]byte(`{
+		"name": "ok",
+		"fleet": {"shards": 2, "stores": 2},
+		"steps": [
+			{"op": "lead", "holder": "leader-0"},
+			{"op": "checkpoint", "step": 4, "at": "after-prepare",
+			 "target": "store:0", "fault": {"partition": true}, "expect": "fail"}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Steps[1].Fault == nil || !sc.Steps[1].Fault.Partition {
+		t.Fatalf("fault spec lost in parse: %+v", sc.Steps[1])
+	}
+}

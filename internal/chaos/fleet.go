@@ -1,0 +1,622 @@
+package chaos
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"os/exec"
+	"sync"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/ctrl"
+	"repro/internal/ctrl/shardhost"
+	"repro/internal/objstore"
+	"repro/internal/quant"
+	"repro/internal/wire"
+)
+
+// Bins names the prebuilt daemon binaries a process-mode fleet forks.
+type Bins struct {
+	Objstored string
+	Shardd    string
+}
+
+// FleetConfig describes a chaos fleet: N shard agents + M object
+// stores + a leased controller, every link behind a Proxy.
+type FleetConfig struct {
+	// JobID names the checkpoint job. Required.
+	JobID string
+	// Shards is the shard-agent count; Stores the store-process count.
+	// Both default to 1.
+	Shards, Stores int
+	// Seed drives the deterministic replicas (default 7); Batch the
+	// training batch size (default 16).
+	Seed  int64
+	Batch int
+	// TableRows/Dim size the embedding tables (in-process fleets only —
+	// forked shardd uses the demo defaults).
+	TableRows []int
+	Dim       int
+	// Policy is the checkpoint policy (default one-shot full+incremental);
+	// QuantBits enables asymmetric quantization when positive.
+	Policy    ckpt.PolicyKind
+	QuantBits int
+	// OpTimeout bounds each agent control operation including its store
+	// I/O — the self-defense deadline that unsticks an agent from a
+	// stalled store. Default 5s.
+	OpTimeout time.Duration
+	// LeaseTTL is the controller lease TTL (default 1s); failover takes
+	// roughly one TTL.
+	LeaseTTL time.Duration
+	// Procs forks real OS processes (objstored/shardd from Bins) instead
+	// of hosting stores and shards in-process.
+	Procs bool
+	Bins  Bins
+	// Logf receives fleet diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (cfg *FleetConfig) withDefaults() (FleetConfig, error) {
+	c := *cfg
+	if c.JobID == "" {
+		return c, errors.New("chaos: fleet requires a job ID")
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Stores <= 0 {
+		c.Stores = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	if c.Batch <= 0 {
+		c.Batch = 16
+	}
+	if c.Policy == 0 {
+		c.Policy = ckpt.PolicyOneShot
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = 5 * time.Second
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.Procs {
+		if c.Bins.Objstored == "" || c.Bins.Shardd == "" {
+			return c, errors.New("chaos: process-mode fleet requires Bins.Objstored and Bins.Shardd")
+		}
+		if len(c.TableRows) > 0 || c.Dim > 0 {
+			return c, errors.New("chaos: process-mode fleet cannot override TableRows/Dim (shardd uses demo defaults)")
+		}
+	}
+	return c, nil
+}
+
+// storeNode is one object-store member: a real TCP server (in-process
+// or forked) plus its two shims.
+type storeNode struct {
+	addr string // the real server address (unshimmed)
+	srv  *objstore.Server
+	proc *child
+}
+
+// shardNode is one shard agent: host (or forked shardd), its direct
+// control address, and liveness.
+type shardNode struct {
+	host  *shardhost.Host
+	proc  *child
+	addr  string // direct control-plane address (unshimmed)
+	alive bool
+}
+
+// Fleet is a running chaos topology. The link layout:
+//
+//	shard agents  --[StoreShim(i)]-->  store i      (data plane, shared per store)
+//	controller    --[CtrlStoreShim(i)]--> store i   (leader's own store links)
+//	controller    --[AgentShim(s)]-->  shard s      (control plane)
+//
+// The shard-side shim addresses are the fleet's canonical routing names:
+// every RoutedStore in the system (agents' own, the controller's, the
+// observer's) is built over the same name set, so key placement agrees
+// everywhere even though each role reaches the backends over different
+// wires. The observer store and the invariant checker's agent probes
+// bypass every shim — faults never blind the checker.
+type Fleet struct {
+	cfg  FleetConfig
+	logf func(format string, args ...any)
+
+	stores     []*storeNode
+	storeShims []*Proxy // shard-side; Addr() is the canonical routing name
+	ctrlShims  []*Proxy // controller-side
+	agentShims []*Proxy
+	shards     []*shardNode
+
+	ctrlStore objstore.Store // routed through ctrlShims; controller + lease register
+	observer  objstore.Store // routed direct; the checker's truth
+
+	ctl    *ctrl.Controller
+	lease  *ctrl.Lease
+	holder string
+
+	hookMu       sync.Mutex
+	afterPrepare func()
+	afterCommit  func()
+}
+
+// NewFleet stands the topology up: stores, shims, shard agents. No
+// controller yet — call Lead.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{cfg: c, logf: c.Logf}
+	fail := func(err error) (*Fleet, error) {
+		f.Close()
+		return nil, err
+	}
+
+	// Store plane: M servers, each behind a shard-side and a
+	// controller-side shim.
+	for i := 0; i < c.Stores; i++ {
+		sn := &storeNode{}
+		if c.Procs {
+			ch, err := startChild(c.Logf, fmt.Sprintf("objstored[%d]", i), c.Bins.Objstored,
+				"-addr", "127.0.0.1:0", "-stats", "0")
+			if err != nil {
+				return fail(err)
+			}
+			sn.proc, sn.addr = ch, ch.addr
+		} else {
+			srv, err := objstore.NewServer("127.0.0.1:0", objstore.NewMemStore(objstore.MemConfig{}), objstore.ServerConfig{})
+			if err != nil {
+				return fail(err)
+			}
+			sn.srv, sn.addr = srv, srv.Addr()
+		}
+		f.stores = append(f.stores, sn)
+		shim, err := NewProxy(fmt.Sprintf("store:%d", i), "127.0.0.1:0", sn.addr, c.Logf)
+		if err != nil {
+			return fail(err)
+		}
+		f.storeShims = append(f.storeShims, shim)
+		cshim, err := NewProxy(fmt.Sprintf("ctrlstore:%d", i), "127.0.0.1:0", sn.addr, c.Logf)
+		if err != nil {
+			return fail(err)
+		}
+		f.ctrlShims = append(f.ctrlShims, cshim)
+	}
+
+	// The controller's store and the observer's store route over the
+	// canonical names (shard-side shim addresses) but reach the backends
+	// over their own wires.
+	if f.ctrlStore, err = f.routedVia(func(i int) string { return f.ctrlShims[i].Addr() }); err != nil {
+		return fail(err)
+	}
+	if f.observer, err = f.routedVia(func(i int) string { return f.stores[i].addr }); err != nil {
+		return fail(err)
+	}
+
+	// Shard agents, each fronted by a control-plane shim.
+	for s := 0; s < c.Shards; s++ {
+		sn := &shardNode{}
+		if err := f.startShard(sn, s, false); err != nil {
+			return fail(err)
+		}
+		f.shards = append(f.shards, sn)
+		shim, err := NewProxy(fmt.Sprintf("agent:%d", s), "127.0.0.1:0", sn.addr, c.Logf)
+		if err != nil {
+			return fail(err)
+		}
+		f.agentShims = append(f.agentShims, shim)
+	}
+	return f, nil
+}
+
+// routedVia builds a RoutedStore over the canonical backend names, each
+// backend dialed at the address dialAddr(i) chooses.
+func (f *Fleet) routedVia(dialAddr func(i int) string) (objstore.Store, error) {
+	backends := make([]objstore.Backend, len(f.stores))
+	for i := range f.stores {
+		cl, err := objstore.Dial(dialAddr(i), objstore.ClientConfig{PoolSize: 4, DialTimeout: 5 * time.Second})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: dial store %d: %w", i, err)
+		}
+		backends[i] = objstore.Backend{Name: f.storeShims[i].Addr(), Store: cl}
+	}
+	return objstore.NewRouted(backends)
+}
+
+// storeSpec is what shard agents dial: every shard-side shim, routed.
+func (f *Fleet) storeSpec() string {
+	spec := ""
+	for i, shim := range f.storeShims {
+		if i > 0 {
+			spec += ","
+		}
+		spec += shim.Addr()
+	}
+	return spec
+}
+
+func (f *Fleet) startShard(sn *shardNode, s int, rejoin bool) error {
+	if f.cfg.Procs {
+		args := []string{
+			"-addr", "127.0.0.1:0",
+			"-stores", f.storeSpec(),
+			"-job", f.cfg.JobID,
+			"-shard", fmt.Sprint(s),
+			"-shards", fmt.Sprint(f.cfg.Shards),
+			"-seed", fmt.Sprint(f.cfg.Seed),
+			"-batch", fmt.Sprint(f.cfg.Batch),
+			"-policy", policyFlag(f.cfg.Policy),
+			"-quant-bits", fmt.Sprint(f.cfg.QuantBits),
+			"-op-timeout", f.cfg.OpTimeout.String(),
+			"-connect-wait", "10s",
+			fmt.Sprintf("-recover=%v", rejoin),
+		}
+		ch, err := startChild(f.logf, fmt.Sprintf("shardd[%d]", s), f.cfg.Bins.Shardd, args...)
+		if err != nil {
+			return err
+		}
+		sn.proc, sn.addr, sn.alive = ch, ch.addr, true
+		return nil
+	}
+	ecfg := ckpt.Config{Policy: f.cfg.Policy, ChunkRows: 64}
+	if f.cfg.QuantBits > 0 {
+		ecfg.Quant = quantParams(f.cfg.QuantBits)
+	}
+	host, err := shardhost.Start(shardhost.Config{
+		JobID:       f.cfg.JobID,
+		Shard:       s,
+		Shards:      f.cfg.Shards,
+		StoreAddr:   f.storeSpec(),
+		Seed:        f.cfg.Seed,
+		BatchSize:   f.cfg.Batch,
+		TableRows:   f.cfg.TableRows,
+		Dim:         f.cfg.Dim,
+		Engine:      ecfg,
+		Recover:     rejoin,
+		OpTimeout:   f.cfg.OpTimeout,
+		ConnectWait: 10 * time.Second,
+		Logf:        f.logf,
+	})
+	if err != nil {
+		return fmt.Errorf("chaos: shard %d: %w", s, err)
+	}
+	sn.host, sn.addr, sn.alive = host, host.Addr(), true
+	return nil
+}
+
+// --- fault surface -------------------------------------------------
+
+// StoreShim returns store i's shard-side shim (the data-plane link all
+// agents share to that store).
+func (f *Fleet) StoreShim(i int) *Proxy { return f.storeShims[i] }
+
+// CtrlStoreShim returns store i's controller-side shim (the leader's
+// own store link, including the lease register when i is the anchor).
+func (f *Fleet) CtrlStoreShim(i int) *Proxy { return f.ctrlShims[i] }
+
+// AgentShim returns shard s's control-plane shim (controller -> agent).
+func (f *Fleet) AgentShim(s int) *Proxy { return f.agentShims[s] }
+
+// AnchorStore returns the index of the store the control keys (lease
+// register, membership) are pinned to: the smallest canonical name.
+func (f *Fleet) AnchorStore() int {
+	anchor := 0
+	for i := 1; i < len(f.storeShims); i++ {
+		if f.storeShims[i].Addr() < f.storeShims[anchor].Addr() {
+			anchor = i
+		}
+	}
+	return anchor
+}
+
+// Stores and Shards report the topology size.
+func (f *Fleet) Stores() int { return len(f.stores) }
+func (f *Fleet) Shards() int { return len(f.shards) }
+
+// ShardAlive reports whether shard s is currently running.
+func (f *Fleet) ShardAlive(s int) bool { return f.shards[s].alive }
+
+// Observer returns the unshimmed routed store the invariant checker
+// reads ground truth through. It routes identically to the fleet's own
+// stores but its links never carry injected faults.
+func (f *Fleet) Observer() objstore.Store { return f.observer }
+
+// KillShard crashes shard s: SIGKILL in process mode, Host.Kill
+// in-process. Nothing is rolled back — in-flight attempts leave debris,
+// like a real crash.
+func (f *Fleet) KillShard(s int) {
+	sn := f.shards[s]
+	if !sn.alive {
+		return
+	}
+	if sn.proc != nil {
+		sn.proc.kill()
+		sn.proc = nil
+	} else if sn.host != nil {
+		sn.host.Kill()
+		sn.host = nil
+	}
+	sn.alive = false
+	f.logf("chaos: killed shard %d", s)
+}
+
+// RestartShard brings a killed shard back with -recover: the replayed
+// engine state comes from the store's manifests, and the agent shim is
+// retargeted at the new process's address so the fleet-facing address
+// never changes.
+func (f *Fleet) RestartShard(s int) error {
+	sn := f.shards[s]
+	if sn.alive {
+		return fmt.Errorf("chaos: shard %d is already running", s)
+	}
+	if err := f.startShard(sn, s, true); err != nil {
+		return err
+	}
+	f.agentShims[s].SetTarget(sn.addr)
+	f.agentShims[s].DropConns()
+	f.logf("chaos: restarted shard %d at %s", s, sn.addr)
+	return nil
+}
+
+// --- controller ----------------------------------------------------
+
+func (f *Fleet) register(holder string) (*ctrl.Register, error) {
+	return ctrl.NewRegister(ctrl.RegisterConfig{
+		JobID:  f.cfg.JobID,
+		Store:  f.ctrlStore,
+		Holder: holder,
+		TTL:    f.cfg.LeaseTTL,
+		Settle: 2 * time.Millisecond,
+	})
+}
+
+func (f *Fleet) newController(lease *ctrl.Lease, holder string) error {
+	agents := make([]string, len(f.agentShims))
+	for s, shim := range f.agentShims {
+		agents[s] = shim.Addr()
+	}
+	c, err := ctrl.NewController(ctrl.ControllerConfig{
+		JobID:        f.cfg.JobID,
+		Store:        f.ctrlStore,
+		Agents:       agents,
+		Lease:        lease,
+		DialTimeout:  5 * time.Second,
+		Logf:         f.logf,
+		AfterPrepare: func() { f.fire(&f.afterPrepare) },
+		AfterCommit:  func() { f.fire(&f.afterCommit) },
+	})
+	if err != nil {
+		return fmt.Errorf("chaos: controller %q: %w", holder, err)
+	}
+	f.ctl, f.lease, f.holder = c, lease, holder
+	return nil
+}
+
+// Lead elects holder as the leader: acquires the lease and discovers
+// the fleet through the shims.
+func (f *Fleet) Lead(ctx context.Context, holder string) error {
+	reg, err := f.register(holder)
+	if err != nil {
+		return err
+	}
+	lease, err := reg.Acquire(ctx, 0)
+	if err != nil {
+		return fmt.Errorf("chaos: %q acquire lease: %w", holder, err)
+	}
+	return f.newController(lease, holder)
+}
+
+// Failover silently abandons the current leader (no lease release — it
+// "died") and promotes holder, who must wait out the TTL exactly like a
+// real standby.
+func (f *Fleet) Failover(ctx context.Context, holder string) error {
+	if f.ctl != nil {
+		f.ctl.Close()
+		f.ctl, f.lease = nil, nil
+	}
+	reg, err := f.register(holder)
+	if err != nil {
+		return err
+	}
+	lease, err := reg.WaitAcquire(ctx)
+	if err != nil {
+		return fmt.Errorf("chaos: %q takeover: %w", holder, err)
+	}
+	return f.newController(lease, holder)
+}
+
+// Leader returns the current leader's holder name ("" when none).
+func (f *Fleet) Leader() string {
+	if f.ctl == nil {
+		return ""
+	}
+	return f.holder
+}
+
+// Checkpoint drives one composite checkpoint through the current
+// leader.
+func (f *Fleet) Checkpoint(ctx context.Context, step uint64) (*wire.Manifest, error) {
+	if f.ctl == nil {
+		return nil, errors.New("chaos: no leader; call Lead first")
+	}
+	return f.ctl.Checkpoint(ctx, step)
+}
+
+// NextID returns the leader's next checkpoint ID (-1 when no leader).
+func (f *Fleet) NextID() int {
+	if f.ctl == nil {
+		return -1
+	}
+	return f.ctl.NextID()
+}
+
+// SetAfterPrepare arms a one-shot hook that fires between the next
+// checkpoint's prepare and publish phases — the window where a fault
+// must cause an abort, never a restorable composite.
+func (f *Fleet) SetAfterPrepare(fn func()) {
+	f.hookMu.Lock()
+	f.afterPrepare = fn
+	f.hookMu.Unlock()
+}
+
+// SetAfterCommit arms a one-shot hook that fires after the next
+// composite manifest lands, before agents finalize — the window where a
+// fault must NOT invalidate the checkpoint.
+func (f *Fleet) SetAfterCommit(fn func()) {
+	f.hookMu.Lock()
+	f.afterCommit = fn
+	f.hookMu.Unlock()
+}
+
+func (f *Fleet) fire(slot *func()) {
+	f.hookMu.Lock()
+	fn := *slot
+	*slot = nil
+	f.hookMu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// AgentStatus probes shard s's agent over a direct, unshimmed
+// connection — the checker's view is never degraded by the faults under
+// test.
+func (f *Fleet) AgentStatus(ctx context.Context, s int) (*ctrl.StatusReply, error) {
+	sn := f.shards[s]
+	if !sn.alive {
+		return nil, fmt.Errorf("chaos: shard %d is dead", s)
+	}
+	cl, err := ctrl.DialAgent(sn.addr, ctrl.ClientConfig{DialTimeout: 5 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	return cl.Status(ctx)
+}
+
+// Close tears the whole topology down.
+func (f *Fleet) Close() {
+	if f.ctl != nil {
+		f.ctl.Close()
+	}
+	for _, sn := range f.shards {
+		if sn.proc != nil {
+			sn.proc.kill()
+		}
+		if sn.host != nil {
+			sn.host.Close()
+		}
+	}
+	for _, shims := range [][]*Proxy{f.agentShims, f.storeShims, f.ctrlShims} {
+		for _, p := range shims {
+			p.Close()
+		}
+	}
+	if f.ctrlStore != nil {
+		f.ctrlStore.Close()
+	}
+	if f.observer != nil {
+		f.observer.Close()
+	}
+	for _, sn := range f.stores {
+		if sn.proc != nil {
+			sn.proc.kill()
+		}
+		if sn.srv != nil {
+			sn.srv.Close()
+		}
+	}
+}
+
+// quantParams builds the asymmetric quantization params shardd's
+// -quant-bits flag maps to.
+func quantParams(bits int) quant.Params {
+	return quant.Params{Method: quant.MethodAsymmetric, Bits: bits}
+}
+
+// policyFlag maps a policy kind to shardd's -policy flag value.
+func policyFlag(p ckpt.PolicyKind) string {
+	switch p {
+	case ckpt.PolicyFull:
+		return "full"
+	case ckpt.PolicyConsecutive:
+		return "consecutive"
+	case ckpt.PolicyIntermittent:
+		return "intermittent"
+	default:
+		return "oneshot"
+	}
+}
+
+// --- forked children -----------------------------------------------
+
+// child is a forked daemon whose first stdout line is its bound
+// address (the objstored/shardd convention).
+type child struct {
+	name string
+	cmd  *exec.Cmd
+	addr string
+}
+
+func startChild(logf func(format string, args ...any), name, bin string, args ...string) (*child, error) {
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("chaos: start %s: %w", name, err)
+	}
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			logf("%s: %s", name, sc.Text())
+		}
+	}()
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		if sc.Scan() {
+			addrCh <- sc.Text()
+		}
+		close(addrCh)
+		for sc.Scan() {
+			logf("%s: %s", name, sc.Text())
+		}
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok || addr == "" {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, fmt.Errorf("chaos: %s exited before printing its address", name)
+		}
+		return &child{name: name, cmd: cmd, addr: addr}, nil
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("chaos: %s did not print an address within 30s", name)
+	}
+}
+
+// kill SIGKILLs the child and reaps it.
+func (c *child) kill() {
+	if c.cmd.Process != nil {
+		c.cmd.Process.Kill()
+	}
+	c.cmd.Wait()
+}

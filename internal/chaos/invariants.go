@@ -1,0 +1,245 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/ckpt"
+	"repro/internal/ctrl/shardhost"
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/trainer"
+)
+
+// Committed records one checkpoint the scenario expects to exist: the
+// runner appends an entry for every Checkpoint call that returned
+// success. The checker holds the store to exactly this sequence.
+type Committed struct {
+	ID   int    `json:"id"`
+	Step uint64 `json:"step"`
+}
+
+// Violation is one broken invariant. Violations are the harness's
+// verdicts; infrastructure failures (the observer store itself erroring)
+// surface as plain errors instead.
+type Violation struct {
+	// Invariant is one of "complete-composites", "restore-latest",
+	// "id-convergence".
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Checker asserts the three core Check-N-Run invariants against a
+// fleet, through the unshimmed observer store and direct agent probes:
+//
+//  1. complete-composites — no restorable partial composite: every
+//     composite manifest in the store references only shard manifests
+//     that exist.
+//  2. restore-latest — RestoreLatest lands on the newest expected
+//     checkpoint and reproduces the reference replica bit-identically.
+//  3. id-convergence — committed composite IDs are exactly the expected
+//     gapless sequence, and every live agent agrees on the next ID.
+//
+// The checker maintains its own reference replica, trained with the
+// same deterministic seed as the fleet's shards and advanced to each
+// checkpoint's cut step on demand.
+type Checker struct {
+	f *Fleet
+
+	cluster *trainer.Cluster
+	refMod  *model.DLRM
+	gen     *data.Generator
+}
+
+// NewChecker builds a checker (and its reference replica) for f.
+func NewChecker(f *Fleet) (*Checker, error) {
+	mcfg, spec := shardhost.ReplicaConfig(f.cfg.Seed, f.cfg.TableRows, f.cfg.Dim)
+	m, err := model.New(mcfg, f.cfg.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: checker model: %w", err)
+	}
+	cluster, err := trainer.New(m, trainer.Config{Nodes: f.cfg.Shards})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: checker cluster: %w", err)
+	}
+	gen, err := data.NewGenerator(spec)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: checker generator: %w", err)
+	}
+	return &Checker{f: f, cluster: cluster, refMod: m, gen: gen}, nil
+}
+
+// referenceAt advances the reference replica to exactly step. Scenario
+// cut steps are monotonic, so the replica only ever moves forward.
+func (c *Checker) referenceAt(step uint64) (*model.DLRM, error) {
+	for c.cluster.Stats().Batches < step {
+		c.cluster.Step(c.gen.NextBatch(c.f.cfg.Batch))
+	}
+	if got := c.cluster.Stats().Batches; got != step {
+		return nil, fmt.Errorf("chaos: reference replica at step %d, cannot rewind to %d", got, step)
+	}
+	return c.refMod, nil
+}
+
+// freshModel builds an untrained fleet-shaped model to restore into; a
+// different seed, so a restore that leans on initialization is caught.
+func (c *Checker) freshModel() (*model.DLRM, error) {
+	mcfg, _ := shardhost.ReplicaConfig(c.f.cfg.Seed+1000, c.f.cfg.TableRows, c.f.cfg.Dim)
+	return model.New(mcfg, c.f.cfg.Shards)
+}
+
+// Check runs all three invariants against the expected committed
+// sequence and returns every violation found.
+func (c *Checker) Check(ctx context.Context, committed []Committed) ([]Violation, error) {
+	var out []Violation
+
+	rest, err := ckpt.NewRestorer(c.f.cfg.JobID, c.f.observer)
+	if err != nil {
+		return nil, err
+	}
+	manifests, err := rest.ListManifests(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: list composites: %w", err)
+	}
+
+	// Invariant 1: every composite manifest present in the store is
+	// complete. An incomplete one is exactly the torn commit the
+	// two-phase protocol exists to prevent — it would be indistinguishable
+	// from a valid checkpoint to a reader that trusts manifests.
+	for _, man := range manifests {
+		ok, err := rest.Complete(ctx, man)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: probe composite %d: %w", man.ID, err)
+		}
+		if !ok {
+			out = append(out, Violation{
+				Invariant: "complete-composites",
+				Detail:    fmt.Sprintf("composite manifest %d (step %d) references missing shard manifests", man.ID, man.Step),
+			})
+		}
+	}
+
+	// Invariant 3a: the committed IDs are exactly the expected gapless
+	// sequence.
+	gotIDs := make([]int, len(manifests))
+	for i, m := range manifests {
+		gotIDs[i] = m.ID
+	}
+	sort.Ints(gotIDs)
+	wantIDs := make([]int, len(committed))
+	for i, cm := range committed {
+		wantIDs[i] = cm.ID
+	}
+	if !equalInts(gotIDs, wantIDs) {
+		out = append(out, Violation{
+			Invariant: "id-convergence",
+			Detail:    fmt.Sprintf("store holds composite IDs %v, scenario committed %v", gotIDs, wantIDs),
+		})
+	}
+
+	// Invariant 3b: every live agent has converged on the same next ID.
+	// Dead shards are skipped — convergence is re-checked after restart.
+	for s := 0; s < c.f.Shards(); s++ {
+		if !c.f.ShardAlive(s) {
+			continue
+		}
+		st, err := c.f.AgentStatus(ctx, s)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: status shard %d: %w", s, err)
+		}
+		if st.NextID != len(committed) {
+			out = append(out, Violation{
+				Invariant: "id-convergence",
+				Detail:    fmt.Sprintf("shard %d expects next checkpoint %d, scenario committed %d", s, st.NextID, len(committed)),
+			})
+		}
+	}
+
+	// Invariant 2: RestoreLatest lands on the newest expected checkpoint,
+	// bit-identically to the reference replica at its cut step. Skipped
+	// while nothing has committed (invariant 3a already pinned the store
+	// to empty).
+	if len(committed) == 0 {
+		return out, nil
+	}
+	want := committed[len(committed)-1]
+	fresh, err := c.freshModel()
+	if err != nil {
+		return nil, err
+	}
+	res, err := rest.RestoreLatest(ctx, fresh)
+	if err != nil {
+		out = append(out, Violation{
+			Invariant: "restore-latest",
+			Detail:    fmt.Sprintf("restore failed with %d committed checkpoints: %v", len(committed), err),
+		})
+		return out, nil
+	}
+	if got := res.Manifests[0]; got.ID != want.ID || res.Step != want.Step {
+		out = append(out, Violation{
+			Invariant: "restore-latest",
+			Detail: fmt.Sprintf("restored composite %d at step %d, want %d at step %d",
+				got.ID, res.Step, want.ID, want.Step),
+		})
+		return out, nil
+	}
+	ref, err := c.referenceAt(want.Step)
+	if err != nil {
+		return nil, err
+	}
+	if diff := bitDiff(ref, fresh); diff != "" {
+		out = append(out, Violation{
+			Invariant: "restore-latest",
+			Detail:    fmt.Sprintf("restored state diverges from reference at step %d: %s", want.Step, diff),
+		})
+	}
+	return out, nil
+}
+
+// bitDiff compares two models bit-for-bit — sparse weights, optimizer
+// accumulators, dense state — returning "" when identical.
+func bitDiff(a, b *model.DLRM) string {
+	for _, tab := range a.Sparse.Tables {
+		tb := b.Sparse.Table(tab.ID)
+		if tb == nil {
+			return fmt.Sprintf("table %d missing", tab.ID)
+		}
+		for i := range tab.Weights.Data {
+			if tab.Weights.Data[i] != tb.Weights.Data[i] {
+				return fmt.Sprintf("table %d weight %d differs", tab.ID, i)
+			}
+		}
+		for i := range tab.Accum {
+			if tab.Accum[i] != tb.Accum[i] {
+				return fmt.Sprintf("table %d accumulator %d differs", tab.ID, i)
+			}
+		}
+	}
+	da, err := a.DenseState()
+	if err != nil {
+		return fmt.Sprintf("reference dense state: %v", err)
+	}
+	db, err := b.DenseState()
+	if err != nil {
+		return fmt.Sprintf("restored dense state: %v", err)
+	}
+	if string(da) != string(db) {
+		return "dense state differs"
+	}
+	return ""
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

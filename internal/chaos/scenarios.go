@@ -1,0 +1,203 @@
+package chaos
+
+// The builtin campaign matrix. Every campaign asserts, after every
+// step, the three invariants in Checker: no restorable partial
+// composite, RestoreLatest bit-identical to the reference replica, and
+// gapless checkpoint-ID convergence across rejoin/failover.
+//
+// The matrix is expressed as data — the same Scenario values run
+// in-process under `go test -race` (the small matrix, per PR) and over
+// forked objstored/shardd processes via cmd/chaosctl (the full matrix,
+// nightly).
+
+// fleet3x3 is the standard campaign topology: three shard agents over
+// three stores, a 500ms lease so failover scenarios settle quickly, and
+// a 4s op deadline so stalled-store scenarios unstick within a step.
+var fleet3x3 = FleetSpec{Shards: 3, Stores: 3, LeaseTTLMs: 500, OpTimeoutMs: 4000}
+
+// BuiltinScenarios returns the full campaign matrix.
+func BuiltinScenarios() []*Scenario {
+	return []*Scenario{
+		{
+			Name:        "slow-store-throttle",
+			Description: "one store throttled to a trickle mid-campaign; commits slow down but stay correct",
+			Fleet:       fleet3x3,
+			Steps: []Step{
+				{Op: "lead", Holder: "leader-0"},
+				{Op: "checkpoint", Step: 4},
+				{Op: "fault", Target: "store:0", Fault: &FaultSpec{BandwidthBps: 128_000}},
+				{Op: "checkpoint", Step: 8},
+				{Op: "heal"},
+				{Op: "checkpoint", Step: 12},
+			},
+		},
+		{
+			Name:        "asymmetric-latency",
+			Description: "one agent's response path and one store's request path degraded independently",
+			Fleet:       fleet3x3,
+			Steps: []Step{
+				{Op: "lead", Holder: "leader-0"},
+				{Op: "checkpoint", Step: 4},
+				{Op: "fault", Target: "agent:0", Fault: &FaultSpec{LatencyMs: 80, JitterMs: 40, Direction: "down"}},
+				{Op: "fault", Target: "store:1", Fault: &FaultSpec{LatencyMs: 50, Direction: "up"}},
+				{Op: "checkpoint", Step: 8},
+				{Op: "heal"},
+				{Op: "checkpoint", Step: 12},
+			},
+		},
+		{
+			Name: "partition-leader-mid-commit",
+			Description: "leader loses every link between publish and commit; abort can't reach the " +
+				"agents, so a standby must fence the torn attempt away via epoch adoption",
+			Fleet: fleet3x3,
+			Steps: []Step{
+				{Op: "lead", Holder: "leader-0"},
+				{Op: "checkpoint", Step: 4},
+				{Op: "checkpoint", Step: 8, At: "after-prepare", Target: "leader",
+					Fault: &FaultSpec{Partition: true}, Expect: "fail"},
+				{Op: "heal"},
+				{Op: "failover", Holder: "leader-1"},
+				{Op: "checkpoint", Step: 8},
+				{Op: "sweep"},
+				{Op: "checkpoint", Step: 12},
+			},
+		},
+		{
+			Name: "partition-anchor-store-fence",
+			Description: "the lease store vanishes between publish and commit; the fence renewal must " +
+				"refuse to write the composite manifest",
+			Fleet: fleet3x3,
+			Steps: []Step{
+				{Op: "lead", Holder: "leader-0"},
+				{Op: "checkpoint", Step: 4},
+				{Op: "checkpoint", Step: 8, At: "after-prepare", Target: "ctrlstore:anchor",
+					Fault: &FaultSpec{Partition: true}, Expect: "fail"},
+				{Op: "heal"},
+				{Op: "checkpoint", Step: 8},
+				{Op: "sweep"},
+				{Op: "checkpoint", Step: 12},
+			},
+		},
+		{
+			Name:        "partition-anchor-store-outage",
+			Description: "the anchor store drops off the network entirely before a commit attempt",
+			Fleet:       fleet3x3,
+			Steps: []Step{
+				{Op: "lead", Holder: "leader-0"},
+				{Op: "checkpoint", Step: 4},
+				{Op: "fault", Target: "store:anchor,ctrlstore:anchor", Fault: &FaultSpec{Partition: true}},
+				{Op: "checkpoint", Step: 8, Expect: "fail"},
+				{Op: "heal"},
+				{Op: "checkpoint", Step: 8},
+				{Op: "sweep"},
+			},
+		},
+		{
+			Name:        "kill-during-publish",
+			Description: "one shard crashes between prepare and publish; the attempt aborts and the shard rejoins",
+			Fleet:       fleet3x3,
+			Steps: []Step{
+				{Op: "lead", Holder: "leader-0"},
+				{Op: "checkpoint", Step: 4},
+				{Op: "checkpoint", Step: 8, At: "after-prepare", Kill: "shard:1", Expect: "fail"},
+				{Op: "restart", Shard: 1},
+				{Op: "checkpoint", Step: 8},
+				{Op: "sweep"},
+				{Op: "checkpoint", Step: 12},
+			},
+		},
+		{
+			Name:        "correlated-double-kill",
+			Description: "two shards crash in the same commit window — a correlated failure, not independent noise",
+			Fleet:       fleet3x3,
+			Steps: []Step{
+				{Op: "lead", Holder: "leader-0"},
+				{Op: "checkpoint", Step: 4},
+				{Op: "checkpoint", Step: 8, At: "after-prepare", Kill: "shard:1,shard:2", Expect: "fail"},
+				{Op: "restart", Shard: 1},
+				{Op: "restart", Shard: 2},
+				{Op: "checkpoint", Step: 8},
+				{Op: "sweep"},
+				{Op: "checkpoint", Step: 12},
+			},
+		},
+		{
+			Name: "kill-during-finalize",
+			Description: "a shard crashes after the composite manifest lands but before finalize; the " +
+				"checkpoint must survive and the rejoined shard must converge on it",
+			Fleet: fleet3x3,
+			Steps: []Step{
+				{Op: "lead", Holder: "leader-0"},
+				{Op: "checkpoint", Step: 4},
+				// Expect OK: past the commit point, a crash may no longer
+				// invalidate the checkpoint.
+				{Op: "checkpoint", Step: 8, At: "after-commit", Kill: "shard:1"},
+				{Op: "restart", Shard: 1},
+				{Op: "checkpoint", Step: 12},
+			},
+		},
+		{
+			Name: "stall-store-mid-commit",
+			Description: "every data-plane store goes silent (connections up, zero bytes) during publish; " +
+				"agents must save themselves with op deadlines",
+			Fleet: FleetSpec{Shards: 3, Stores: 3, LeaseTTLMs: 500, OpTimeoutMs: 1500},
+			Steps: []Step{
+				{Op: "lead", Holder: "leader-0"},
+				{Op: "checkpoint", Step: 4},
+				{Op: "checkpoint", Step: 8, At: "after-prepare", Target: "store:0,store:1,store:2",
+					Fault: &FaultSpec{Stall: true, Direction: "up"}, Expect: "fail"},
+				{Op: "heal"},
+				{Op: "checkpoint", Step: 8},
+				{Op: "sweep"},
+				{Op: "checkpoint", Step: 12},
+			},
+		},
+		{
+			Name:        "flap-agent-partition",
+			Description: "agents drop out and heal repeatedly across consecutive commits",
+			Fleet:       fleet3x3,
+			Steps: []Step{
+				{Op: "lead", Holder: "leader-0"},
+				{Op: "checkpoint", Step: 4},
+				{Op: "fault", Target: "agent:1", Fault: &FaultSpec{Partition: true}},
+				{Op: "checkpoint", Step: 8, Expect: "fail"},
+				{Op: "heal", Target: "agent:1"},
+				{Op: "checkpoint", Step: 8},
+				{Op: "fault", Target: "agent:2", Fault: &FaultSpec{Partition: true}},
+				{Op: "checkpoint", Step: 12, Expect: "fail"},
+				{Op: "heal", Target: "agent:2"},
+				{Op: "checkpoint", Step: 12},
+				{Op: "sweep"},
+			},
+		},
+	}
+}
+
+// smallMatrix names the per-PR subset: one throttle campaign, one crash
+// campaign, one partition+failover campaign — each exercising a
+// different commit window, all fast enough for `-race` in CI.
+var smallMatrix = []string{
+	"slow-store-throttle",
+	"kill-during-publish",
+	"partition-leader-mid-commit",
+}
+
+// SmallScenarios returns the per-PR subset of the builtin matrix.
+func SmallScenarios() []*Scenario {
+	var out []*Scenario
+	for _, name := range smallMatrix {
+		out = append(out, FindScenario(name))
+	}
+	return out
+}
+
+// FindScenario returns the builtin scenario with the given name, nil if
+// none.
+func FindScenario(name string) *Scenario {
+	for _, sc := range BuiltinScenarios() {
+		if sc.Name == name {
+			return sc
+		}
+	}
+	return nil
+}

@@ -201,7 +201,9 @@ func (c *Coordinator) Write(ctx context.Context, snap *Snapshot) (*wire.Manifest
 
 	fail := func(err error) (*wire.Manifest, error) {
 		AbortShards(ctx, c.runners, id)
-		_ = c.cfg.Store.Delete(context.WithoutCancel(ctx), wire.DenseKey(c.cfg.JobID, id))
+		dctx, cancel := DetachedCtx(ctx)
+		_ = c.cfg.Store.Delete(dctx, wire.DenseKey(c.cfg.JobID, id))
+		cancel()
 		if ce := ctx.Err(); ce != nil {
 			return nil, ce
 		}
@@ -242,7 +244,9 @@ func (c *Coordinator) Write(ctx context.Context, snap *Snapshot) (*wire.Manifest
 	if err := c.cfg.Store.Put(ctx, wire.ManifestKey(c.cfg.JobID, id), manBlob); err != nil {
 		return fail(fmt.Errorf("ckpt: store composite manifest: %w", err))
 	}
-	_ = FinalizeShards(context.WithoutCancel(ctx), c.runners, id)
+	fctx, cancelFinalize := DetachedCtx(ctx)
+	_ = FinalizeShards(fctx, c.runners, id)
+	cancelFinalize()
 	c.nextID++
 	// Cache for retention only: with retention disabled the cache would
 	// grow one manifest per checkpoint, forever, on a long-running job.

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bitvec"
 	"repro/internal/embedding"
@@ -244,11 +245,11 @@ func (e *Engine) Prepare(ctx context.Context, snap *Snapshot) (*Prepared, error)
 		rows := e.rowsToStore(tab, dec, snap)
 		tm, bytes, err := e.writeTable(ctx, id, tab, rows)
 		if err != nil {
-			// Abort: best-effort cleanup of partial objects (immune to
-			// ctx cancellation — the failure may BE the cancellation);
-			// the manifest was never written so the checkpoint is
-			// invalid either way.
-			e.cleanup(context.WithoutCancel(ctx), id)
+			// Abort: best-effort cleanup of partial objects; the manifest
+			// was never written so the checkpoint is invalid either way.
+			cctx, cancel := DetachedCtx(ctx)
+			e.cleanup(cctx, id)
+			cancel()
 			return nil, err
 		}
 		payloadBytes += bytes
@@ -258,7 +259,9 @@ func (e *Engine) Prepare(ctx context.Context, snap *Snapshot) (*Prepared, error)
 
 	if man.DenseKey != "" {
 		if err := e.cfg.Store.Put(ctx, man.DenseKey, snap.Dense); err != nil {
-			e.cleanup(context.WithoutCancel(ctx), id)
+			cctx, cancel := DetachedCtx(ctx)
+			e.cleanup(cctx, id)
+			cancel()
 			return nil, fmt.Errorf("ckpt: dense state: %w", err)
 		}
 		payloadBytes += int64(len(snap.Dense))
@@ -321,17 +324,33 @@ func (p *Prepared) Finalize(ctx context.Context) *wire.Manifest {
 	return p.man
 }
 
+// DetachedCtx returns a context immune to ctx's cancellation but still
+// bounded: ctx's own deadline is kept while it has budget, otherwise
+// abortTimeout from now. Best-effort cleanup must run even when the
+// parent context died — the failure may BE the cancellation — yet must
+// not hang forever on a store that has gone silent (orphans it fails to
+// delete are SweepOrphans' job).
+func DetachedCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	dl := time.Now().Add(abortTimeout)
+	if pdl, ok := ctx.Deadline(); ok && time.Until(pdl) > 0 {
+		dl = pdl
+	}
+	return context.WithDeadline(context.WithoutCancel(ctx), dl)
+}
+
 // Abort deletes every object the prepared checkpoint stored (including
 // a manifest from a failed Publish round). Engine state was never
 // touched, so the next Prepare reuses the same ID. Cleanup runs under a
-// cancellation-immune context: aborts triggered by a cancelled parent
-// context must still delete the attempt's objects.
+// cancellation-immune but still deadline-bounded context (detachedCtx),
+// so a caller's op timeout keeps bounding the store I/O.
 func (p *Prepared) Abort(ctx context.Context) {
 	if p.done {
 		return
 	}
 	p.done = true
-	p.eng.cleanup(context.WithoutCancel(ctx), p.man.ID)
+	cctx, cancel := DetachedCtx(ctx)
+	defer cancel()
+	p.eng.cleanup(cctx, p.man.ID)
 }
 
 // rowsToStore returns the sorted row indices of tab to serialize under dec.

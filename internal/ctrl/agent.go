@@ -191,17 +191,20 @@ func (a *Agent) abortPendingLocked() {
 	if a.pending == nil {
 		return
 	}
-	ctx := a.opCtxLocked()
-	if _, err := a.cfg.Engine.Store.Stat(ctx, wire.ManifestKey(a.cfg.JobID, a.pendingID)); err == nil {
+	// Each phase gets its own op budget: against an unresponsive store
+	// the Stat alone exhausts a shared context, and the rollback would
+	// then run under cleanup's unbounded fallback deadline instead of
+	// the configured op timeout — all while holding the command mutex.
+	if _, err := a.cfg.Engine.Store.Stat(a.opCtxLocked(), wire.ManifestKey(a.cfg.JobID, a.pendingID)); err == nil {
 		a.logf("ctrl agent %d: finalizing checkpoint %d (composite already committed)", a.cfg.Shard, a.pendingID)
-		a.pending.Finalize(ctx)
+		a.pending.Finalize(a.opCtxLocked())
 		a.pending, a.pendingDense = nil, ""
 		return
 	}
 	a.logf("ctrl agent %d: aborting in-flight checkpoint %d", a.cfg.Shard, a.pendingID)
-	a.pending.Abort(ctx)
+	a.pending.Abort(a.opCtxLocked())
 	if a.pendingDense != "" {
-		_ = a.cfg.Engine.Store.Delete(ctx, a.pendingDense)
+		_ = a.cfg.Engine.Store.Delete(a.opCtxLocked(), a.pendingDense)
 	}
 	a.pending, a.pendingDense = nil, ""
 }
@@ -243,7 +246,9 @@ func (a *Agent) Prepare(ctx context.Context, epoch uint64, args *PrepareArgs) (*
 	p, err := a.eng.Prepare(ctx, snap)
 	if err != nil {
 		if reply.DenseKey != "" {
-			_ = a.cfg.Engine.Store.Delete(context.WithoutCancel(ctx), reply.DenseKey)
+			dctx, cancel := ckpt.DetachedCtx(ctx)
+			_ = a.cfg.Engine.Store.Delete(dctx, reply.DenseKey)
+			cancel()
 		}
 		return nil, err
 	}

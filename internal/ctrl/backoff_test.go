@@ -1,0 +1,52 @@
+package ctrl
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	base, max := 10*time.Millisecond, 80*time.Millisecond
+	b := NewBackoff(base, max)
+	window := base
+	for i := 0; i < 10; i++ {
+		d := b.Next()
+		if d <= 0 || d > window {
+			t.Fatalf("step %d: delay %v outside (0, %v]", i, d, window)
+		}
+		window *= 2
+		if window > max {
+			window = max
+		}
+	}
+}
+
+func TestBackoffReset(t *testing.T) {
+	b := NewBackoff(time.Millisecond, time.Second)
+	for i := 0; i < 20; i++ {
+		b.Next()
+	}
+	b.Reset()
+	if d := b.Next(); d > time.Millisecond {
+		t.Fatalf("delay after reset = %v, want <= base", d)
+	}
+}
+
+// TestBackoffJitterSpreads pins the anti-herd property: two loops with
+// the same parameters must not produce identical delay sequences. With
+// 20 draws over growing windows a collision is (1/base_ns)^20-unlikely,
+// so a match means jitter is broken, not bad luck.
+func TestBackoffJitterSpreads(t *testing.T) {
+	a := NewBackoff(time.Second, time.Hour)
+	b := NewBackoff(time.Second, time.Hour)
+	same := true
+	for i := 0; i < 20; i++ {
+		if a.Next() != b.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two backoffs produced identical jitter sequences")
+	}
+}

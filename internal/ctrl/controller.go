@@ -2,6 +2,7 @@ package ctrl
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -46,6 +47,10 @@ type ControllerConfig struct {
 	// Server.CloseConns): tests kill an agent in this window to prove a
 	// mid-commit crash can never leave a restorable composite.
 	AfterPrepare func()
+	// AfterCommit, when set, runs after the composite manifest lands but
+	// before agents finalize — the window where a crash must NOT
+	// invalidate the checkpoint. Fault-injection hook like AfterPrepare.
+	AfterCommit func()
 }
 
 // Controller owns the composite commit point for a distributed
@@ -206,10 +211,18 @@ func (c *Controller) Checkpoint(ctx context.Context, step uint64) (*wire.Manifes
 		}
 	}
 	fail := func(err error) (*wire.Manifest, error) {
+		// Classify before aborting: "store down" means the abort below is
+		// best-effort and a retry after healing is expected to succeed,
+		// while any other failure is worth an operator's attention.
+		if errors.Is(err, objstore.ErrStoreUnavailable) {
+			c.logf("ctrl controller: checkpoint %d aborted, store unavailable (retryable): %v", id, err)
+		}
 		ckpt.AbortShards(ctx, c.runners, id)
 		// The dense-designated agent may be the one that died after its
 		// prepare: best-effort delete directly, too.
-		_ = c.cfg.Store.Delete(context.WithoutCancel(ctx), wire.DenseKey(c.cfg.JobID, id))
+		dctx, cancel := ckpt.DetachedCtx(ctx)
+		_ = c.cfg.Store.Delete(dctx, wire.DenseKey(c.cfg.JobID, id))
+		cancel()
 		if ce := ctx.Err(); ce != nil {
 			return nil, ce
 		}
@@ -267,14 +280,19 @@ func (c *Controller) Checkpoint(ctx context.Context, step uint64) (*wire.Manifes
 	if err := c.cfg.Store.Put(ctx, wire.ManifestKey(c.cfg.JobID, id), manBlob); err != nil {
 		return fail(fmt.Errorf("ctrl: store composite manifest: %w", err))
 	}
+	if c.cfg.AfterCommit != nil {
+		c.cfg.AfterCommit()
+	}
 
 	// Post-commit: the checkpoint is valid regardless of what happens
 	// next. A finalize RPC lost to a crashed agent leaves that agent's
 	// engine behind — surfaced as a fencing error on the next round,
 	// not silent corruption — so log rather than roll back.
-	if err := ckpt.FinalizeShards(context.WithoutCancel(ctx), c.runners, id); err != nil {
+	fctx, cancelFinalize := ckpt.DetachedCtx(ctx)
+	if err := ckpt.FinalizeShards(fctx, c.runners, id); err != nil {
 		c.logf("ctrl controller: finalize after commit of %d: %v", id, err)
 	}
+	cancelFinalize()
 	c.nextID++
 	// Cache for retention only: with retention disabled the cache would
 	// grow one manifest per checkpoint, forever, on a long-running job.
@@ -306,7 +324,8 @@ func (c *Controller) Health(ctx context.Context) ([]*StatusReply, error) {
 // garbage collected by each agent's engine, which retains whatever its
 // retained increments depend on.
 func (c *Controller) gc(ctx context.Context) {
-	cctx := context.WithoutCancel(ctx)
+	cctx, cancel := ckpt.DetachedCtx(ctx)
+	defer cancel()
 	for id, m := range c.manifests {
 		if id > c.nextID-1-c.cfg.KeepLast {
 			continue

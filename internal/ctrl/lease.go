@@ -172,22 +172,32 @@ func (r *Register) Acquire(ctx context.Context, epochFloor uint64) (*Lease, erro
 }
 
 // WaitAcquire blocks until the lease can be acquired — the standby
-// controller's takeover loop. It polls at a fraction of the TTL, so a
-// standby promotes itself within roughly one TTL of the leader's death.
+// controller's takeover loop. Polling is jittered exponential backoff
+// bounded by a fraction of the TTL, so a standby still promotes itself
+// within roughly one TTL of the leader's death, but a herd of standbys
+// (or a fleet retrying through a healed partition) spreads out instead
+// of hitting the anchor store in lockstep. A store outage while waiting
+// is retried too — an unreachable register is indistinguishable from a
+// partition the standby is expected to ride out.
 func (r *Register) WaitAcquire(ctx context.Context) (*Lease, error) {
-	poll := r.cfg.TTL / 4
-	if poll < 10*time.Millisecond {
-		poll = 10 * time.Millisecond
+	base := r.cfg.TTL / 16
+	if base < 5*time.Millisecond {
+		base = 5 * time.Millisecond
 	}
+	max := r.cfg.TTL / 4
+	if max < base {
+		max = base
+	}
+	bo := NewBackoff(base, max)
 	for {
 		l, err := r.Acquire(ctx, 0)
 		if err == nil {
 			return l, nil
 		}
-		if !errors.Is(err, ErrLeaseHeld) {
+		if !errors.Is(err, ErrLeaseHeld) && !errors.Is(err, objstore.ErrStoreUnavailable) {
 			return nil, err
 		}
-		if err := sleepCtx(ctx, r.clock, poll); err != nil {
+		if err := bo.Sleep(ctx, r.clock); err != nil {
 			return nil, err
 		}
 	}

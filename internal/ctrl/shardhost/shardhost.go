@@ -12,6 +12,7 @@ package shardhost
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -53,8 +54,14 @@ type Config struct {
 	// Recover rebuilds the shard engine from the store's manifests and
 	// loads the durable fleet epoch on startup, so a restarted host
 	// rejoins the fleet (the replica itself re-trains deterministically
-	// from the seed to whatever step the next prepare requests).
+	// from the seed to whatever step the next sample requests).
 	Recover bool
+	// ConnectWait, if positive, keeps retrying the initial store connect
+	// for up to this long with jittered exponential backoff. A rejoining
+	// fleet typically races the store plane coming back from the same
+	// outage; the jitter keeps a herd of restarting shards from probing
+	// the stores in lockstep. Zero preserves the single-attempt behavior.
+	ConnectWait time.Duration
 	// OpTimeout bounds each control operation, including its store I/O;
 	// zero means no deadline.
 	OpTimeout time.Duration
@@ -118,7 +125,7 @@ func Start(cfg Config) (*Host, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shardhost: generator: %w", err)
 	}
-	store, err := objstore.Connect(cfg.StoreAddr, objstore.ClientConfig{PoolSize: 8})
+	store, err := connectStore(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("shardhost: store: %w", err)
 	}
@@ -153,6 +160,27 @@ func Start(cfg Config) (*Host, error) {
 	}
 	h.srv = srv
 	return h, nil
+}
+
+// connectStore dials the object store, retrying transport-level
+// failures with jittered exponential backoff for up to cfg.ConnectWait.
+func connectStore(cfg Config) (objstore.Store, error) {
+	deadline := time.Now().Add(cfg.ConnectWait)
+	bo := ctrl.NewBackoff(50*time.Millisecond, 2*time.Second)
+	for {
+		store, err := objstore.Connect(cfg.StoreAddr, objstore.ClientConfig{PoolSize: 8})
+		if err == nil {
+			return store, nil
+		}
+		if !errors.Is(err, objstore.ErrStoreUnavailable) || time.Now().After(deadline) {
+			return nil, err
+		}
+		d := bo.Next()
+		if cfg.Logf != nil {
+			cfg.Logf("store %s unavailable, retrying in %v: %v", cfg.StoreAddr, d, err)
+		}
+		time.Sleep(d)
+	}
 }
 
 // snapshotAt advances the replica to exactly the requested global step

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
@@ -58,28 +59,31 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	return cl, nil
 }
 
-func (cl *Client) acquire() (*clientConn, error) {
+// acquire returns a connection and whether it came from the idle pool —
+// pooled connections may have been killed by the server or the network
+// while parked, so their first use is allowed one retry.
+func (cl *Client) acquire() (cc *clientConn, pooled bool, err error) {
 	cl.mu.Lock()
 	if cl.closed {
 		cl.mu.Unlock()
-		return nil, ErrClosed
+		return nil, false, ErrClosed
 	}
 	if n := len(cl.idle); n > 0 {
 		cc := cl.idle[n-1]
 		cl.idle = cl.idle[:n-1]
 		cl.mu.Unlock()
-		return cc, nil
+		return cc, true, nil
 	}
 	cl.mu.Unlock()
 	c, err := net.DialTimeout("tcp", cl.addr, cl.timeout)
 	if err != nil {
-		return nil, fmt.Errorf("objstore: dial %s: %w", cl.addr, err)
+		return nil, false, unavailable(cl.addr, "dial", err)
 	}
 	return &clientConn{
 		c:  c,
 		br: bufio.NewReaderSize(c, 64<<10),
 		bw: bufio.NewWriterSize(c, 64<<10),
-	}, nil
+	}, false, nil
 }
 
 func (cl *Client) release(cc *clientConn, broken bool) {
@@ -98,14 +102,41 @@ func (cl *Client) release(cc *clientConn, broken bool) {
 }
 
 // roundTrip sends one request and reads its response on a pooled
-// connection, honoring ctx deadlines via the connection deadline.
+// connection, honoring ctx deadlines via the connection deadline. A
+// transport failure on a connection taken from the idle pool is retried
+// once on a fresh dial: a parked connection may have been silently
+// reset while idle, and every protocol op is idempotent, so one retry
+// turns "stale pool after a network blip" into a non-event instead of a
+// spurious ErrStoreUnavailable.
 func (cl *Client) roundTrip(ctx context.Context, req *request) (uint8, []byte, error) {
-	if err := ctx.Err(); err != nil {
-		return 0, nil, err
+	status, payload, pooled, err := cl.roundTripOnce(ctx, req)
+	if err != nil && pooled && errors.Is(err, ErrStoreUnavailable) && ctx.Err() == nil {
+		// The other parked connections died in the same network event;
+		// drop them all so the retry (and every later op) dials fresh.
+		cl.purgeIdle()
+		status, payload, _, err = cl.roundTripOnce(ctx, req)
 	}
-	cc, err := cl.acquire()
+	return status, payload, err
+}
+
+// purgeIdle closes every parked connection.
+func (cl *Client) purgeIdle() {
+	cl.mu.Lock()
+	idle := cl.idle
+	cl.idle = nil
+	cl.mu.Unlock()
+	for _, cc := range idle {
+		cc.c.Close()
+	}
+}
+
+func (cl *Client) roundTripOnce(ctx context.Context, req *request) (uint8, []byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, false, err
+	}
+	cc, pooled, err := cl.acquire()
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, pooled, err
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		cc.c.SetDeadline(dl)
@@ -114,19 +145,27 @@ func (cl *Client) roundTrip(ctx context.Context, req *request) (uint8, []byte, e
 	}
 	if err := writeRequest(cc.bw, req); err != nil {
 		cl.release(cc, true)
-		return 0, nil, err
+		return 0, nil, pooled, unavailable(cl.addr, "write", err)
 	}
 	if err := cc.bw.Flush(); err != nil {
 		cl.release(cc, true)
-		return 0, nil, err
+		return 0, nil, pooled, unavailable(cl.addr, "write", err)
 	}
 	status, payload, err := readResponse(cc.br)
 	if err != nil {
 		cl.release(cc, true)
-		return 0, nil, err
+		return 0, nil, pooled, unavailable(cl.addr, "read", err)
 	}
 	cl.release(cc, false)
-	return status, payload, nil
+	return status, payload, pooled, nil
+}
+
+// unavailable wraps a transport failure as ErrStoreUnavailable. Only
+// dial and connection IO errors come through here — server-reported
+// statuses (statusErr) never do, so a healthy store returning
+// ErrNotFound or a data error is never misread as "store down".
+func unavailable(addr, op string, err error) error {
+	return fmt.Errorf("%w: %s %s: %v", ErrStoreUnavailable, op, addr, err)
 }
 
 func statusErr(status uint8, payload []byte) error {

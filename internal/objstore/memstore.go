@@ -21,6 +21,10 @@ type MemConfig struct {
 	// WriteBandwidth, if positive, throttles Put calls to this many
 	// bytes per second on Clock.
 	WriteBandwidth float64
+	// ReadBandwidth, if positive, throttles Get calls to this many bytes
+	// per second on Clock. Reads are charged unreplicated: a Get is
+	// served from one replica, while a Put fans out to all of them.
+	ReadBandwidth float64
 	// Clock is used for throttling; nil means the real clock.
 	Clock simclock.Clock
 	// Stripes overrides the internal lock-stripe count (rounded up to a
@@ -40,8 +44,9 @@ type MemStore struct {
 	seed    maphash.Seed
 	closed  atomic.Bool
 
-	replication int
-	throttle    *Throttle
+	replication  int
+	throttle     *Throttle
+	readThrottle *Throttle
 
 	bytesWritten, bytesRead atomic.Int64
 	capacityBytes           atomic.Int64
@@ -82,12 +87,15 @@ func NewMemStore(cfg MemConfig) *MemStore {
 	for i := range s.stripes {
 		s.stripes[i].objects = make(map[string][]byte)
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simclock.Real{}
+	}
 	if cfg.WriteBandwidth > 0 {
-		clock := cfg.Clock
-		if clock == nil {
-			clock = simclock.Real{}
-		}
 		s.throttle = NewThrottle(cfg.WriteBandwidth, clock)
+	}
+	if cfg.ReadBandwidth > 0 {
+		s.readThrottle = NewThrottle(cfg.ReadBandwidth, clock)
 	}
 	return s
 }
@@ -167,6 +175,13 @@ func (s *MemStore) Get(ctx context.Context, key string) ([]byte, error) {
 	st.mu.RUnlock()
 	if !ok {
 		return nil, ErrNotFound
+	}
+	// Shape after the lookup so a missing key costs no read bandwidth,
+	// and outside the stripe lock so a shaped read cannot block writers.
+	if s.readThrottle != nil {
+		if err := s.readThrottle.Wait(ctx, int64(len(v))); err != nil {
+			return nil, err
+		}
 	}
 	s.gets.Add(1)
 	s.bytesRead.Add(int64(len(v)))

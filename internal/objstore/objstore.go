@@ -21,6 +21,15 @@ var ErrNotFound = errors.New("objstore: key not found")
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("objstore: store closed")
 
+// ErrStoreUnavailable classifies transport-layer failures talking to a
+// remote store: refused or timed-out dials, broken connections, and IO
+// deadlines. Client wraps every such failure so callers can separate
+// "the store is down or partitioned" (retryable; the commit protocol
+// aborts cleanly and tries again) from data-level errors like a missing
+// key or a corrupt frame, which no amount of retrying fixes. Match with
+// errors.Is.
+var ErrStoreUnavailable = errors.New("objstore: store unavailable")
+
 // Store is the object storage interface used by the checkpoint engine.
 // Values are immutable once put; a Put to an existing key overwrites it.
 type Store interface {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -270,6 +271,49 @@ func TestMemStoreThrottledPutAdvancesClock(t *testing.T) {
 	}
 }
 
+func TestMemStoreThrottledGetAdvancesClock(t *testing.T) {
+	clock := simclock.NewSim(time.Time{})
+	s := NewMemStore(MemConfig{ReadBandwidth: 1 << 10, Clock: clock})
+	ctx := ctxT(t)
+	if err := s.Put(ctx, "a", make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	start := clock.Now()
+	if _, err := s.Get(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ctx, "a"); err != nil { // waits for the first read's reservation
+		t.Fatal(err)
+	}
+	if d := clock.Since(start); d != time.Second {
+		t.Fatalf("clock advanced %v, want 1s", d)
+	}
+	// Replication must not multiply read cost: a Get is served from one
+	// copy. With replication 3 the same two reads still cost 1s.
+	s3 := NewMemStore(MemConfig{Replication: 3, ReadBandwidth: 1 << 10, Clock: clock})
+	if err := s3.Put(ctx, "a", make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	start = clock.Now()
+	s3.Get(ctx, "a")
+	s3.Get(ctx, "a")
+	if d := clock.Since(start); d != time.Second {
+		t.Fatalf("replicated read cost %v, want 1s", d)
+	}
+}
+
+func TestMemStoreThrottledGetMissingKeyIsFree(t *testing.T) {
+	clock := simclock.NewSim(time.Time{})
+	s := NewMemStore(MemConfig{ReadBandwidth: 1, Clock: clock}) // 1 B/s: any charge is visible
+	start := clock.Now()
+	if _, err := s.Get(ctxT(t), "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get = %v", err)
+	}
+	if d := clock.Since(start); d != 0 {
+		t.Fatalf("missing key charged %v of read bandwidth", d)
+	}
+}
+
 // --- TCP server/client tests ---
 
 func newTCPPair(t *testing.T) (*Client, *MemStore) {
@@ -478,6 +522,62 @@ func TestTCPClientRecoversFromBrokenConn(t *testing.T) {
 	}
 	if !ok {
 		t.Fatalf("client did not recover: %v", lastErr)
+	}
+}
+
+func TestClientTransportErrorsAreTyped(t *testing.T) {
+	ctx := ctxT(t)
+
+	// Dial to a dead address: connection refused surfaces as
+	// ErrStoreUnavailable, both from Dial's probe and from a client
+	// built around the address.
+	dead, err := NewServer("127.0.0.1:0", NewMemStore(MemConfig{}), ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dead.Addr()
+	dead.Close()
+	if _, err := Dial(addr, ClientConfig{DialTimeout: time.Second}); !errors.Is(err, ErrStoreUnavailable) {
+		t.Fatalf("Dial to dead server = %v, want ErrStoreUnavailable", err)
+	}
+
+	// A connection broken mid-session: the pooled conn dies with the
+	// server and the next round trip (redial refused) is typed too.
+	cl, _ := newTCPPair(t)
+	if err := cl.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server-reported statuses must NOT be typed as unavailability: the
+	// store is healthy, the key just doesn't exist.
+	if _, err := cl.Get(ctx, "absent"); errors.Is(err, ErrStoreUnavailable) {
+		t.Fatalf("ErrNotFound misclassified as unavailable: %v", err)
+	}
+}
+
+func TestClientDeadlineIsStoreUnavailable(t *testing.T) {
+	// An accepting-but-silent endpoint: reads hit the conn deadline set
+	// from ctx, which the client classifies as the store being down.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close() // accept and say nothing
+		}
+	}()
+	cl := &Client{addr: ln.Addr().String(), poolSize: 1, timeout: time.Second}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := cl.Get(ctx, "k"); !errors.Is(err, ErrStoreUnavailable) {
+		t.Fatalf("stalled read = %v, want ErrStoreUnavailable", err)
 	}
 }
 

@@ -315,7 +315,7 @@ func TestRoutedBackendDownPutFails(t *testing.T) {
 
 	ctx := context.Background()
 	sawFail, sawOK := false, false
-	for i := 0; i < 64 && !(sawFail && sawOK); i++ {
+	for i := 0; i < 512 && !(sawFail && sawOK); i++ {
 		k := fmt.Sprintf("faultjob/ckpt/%08d/table/0000/chunk/%06d", i/8, i%8)
 		err := store.Put(ctx, k, []byte(k))
 		if rs.RouteKey(k) == addrs[down] {
