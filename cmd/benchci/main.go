@@ -85,6 +85,8 @@ func main() {
 	wireOut := flag.String("wire-out", "BENCH_wire.json", "wire/quant artifact path (empty = skip)")
 	storeOut := flag.String("store-out", "BENCH_store.json", "routed-store sweep artifact path (empty = skip)")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark budget (e.g. 1s, 100x)")
+	writeBW := flag.Float64("write-bw", 64<<20, "per-backend write bandwidth shaping for the store sweep, bytes/sec (0 = unthrottled)")
+	readBW := flag.Float64("read-bw", 64<<20, "per-backend read bandwidth shaping for the store sweep, bytes/sec (0 = unthrottled)")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		log.Fatalf("benchci: set benchtime: %v", err)
@@ -94,7 +96,7 @@ func main() {
 		runSuite(*wireOut, "Wire/", *benchtime, bench.WireCases())
 	}
 	if *storeOut != "" {
-		runSuite(*storeOut, "Store/", *benchtime, bench.StoreCases())
+		runSuite(*storeOut, "Store/", *benchtime, bench.StoreCasesBW(*writeBW, *readBW))
 	}
 	if *out != "" {
 		runSuite(*out, "Coordinator/", *benchtime, bench.CoordinatorCases())

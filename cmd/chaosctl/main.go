@@ -69,6 +69,7 @@ type runOpts struct {
 	out       string
 	timeout   time.Duration
 	verbose   bool
+	backend   string
 }
 
 func runFlags(o *runOpts) *flag.FlagSet {
@@ -80,6 +81,7 @@ func runFlags(o *runOpts) *flag.FlagSet {
 	fs.StringVar(&o.out, "out", "", "directory for per-campaign result JSON (CI artifacts)")
 	fs.DurationVar(&o.timeout, "timeout", 5*time.Minute, "per-campaign wall-clock budget")
 	fs.BoolVar(&o.verbose, "v", false, "stream fleet diagnostics to stderr")
+	fs.StringVar(&o.backend, "store-backend", "", `force campaigns that don't pin a backend onto "mem" or "disk"`)
 	return fs
 }
 
@@ -94,6 +96,13 @@ func run(args []string) int {
 	}
 
 	rcfg := chaos.RunnerConfig{Procs: o.procs}
+	switch o.backend {
+	case "", "mem":
+	case "disk":
+		rcfg.DiskStores = true
+	default:
+		log.Fatalf("unknown -store-backend %q (want mem or disk)", o.backend)
+	}
 	if o.verbose {
 		rcfg.Logf = log.Printf
 	}

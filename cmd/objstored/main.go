@@ -1,10 +1,14 @@
 // Command objstored runs a standalone checkpoint object-store server
-// speaking the Check-N-Run TCP protocol, backed by an in-memory store
-// with optional bandwidth shaping and replication accounting.
+// speaking the Check-N-Run TCP protocol. The backend is an in-memory
+// store by default, or — with -data-dir — the crash-consistent on-disk
+// segment log, whose fsync policy and compaction trigger are
+// flag-selectable. -put-delay/-sync-delay inject device latency for
+// chaos campaigns.
 //
 // Usage:
 //
 //	objstored -addr 127.0.0.1:7070 -replication 3 -write-bw 1073741824 -read-bw 1073741824
+//	objstored -addr 127.0.0.1:7070 -data-dir /var/lib/cnr -fsync interval:100ms -compact-ratio 0.55
 package main
 
 import (
@@ -22,17 +26,56 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
 	replication := flag.Int("replication", 1, "simulated storage replication factor")
-	writeBW := flag.Float64("write-bw", 0, "write bandwidth cap in bytes/sec (0 = unlimited)")
-	readBW := flag.Float64("read-bw", 0, "read bandwidth cap in bytes/sec (0 = unlimited)")
+	writeBW := flag.Float64("write-bw", 0, "write bandwidth cap in bytes/sec (0 = unlimited; memory backend only)")
+	readBW := flag.Float64("read-bw", 0, "read bandwidth cap in bytes/sec (0 = unlimited; memory backend only)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "usage report interval (0 disables)")
+	dataDir := flag.String("data-dir", "", "durable data directory; empty selects the in-memory backend")
+	fsync := flag.String("fsync", "always", `disk fsync policy: "always", "interval[:dur]", "never"`)
+	compactRatio := flag.Float64("compact-ratio", 0, "dead-byte ratio triggering disk compaction (0 = default 0.55, negative disables)")
+	putDelay := flag.Duration("put-delay", 0, "injected latency per mutation (chaos slow-disk shim)")
+	syncDelay := flag.Duration("sync-delay", 0, "injected latency per disk fsync (chaos slow-disk shim)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "objstored: ", log.LstdFlags)
-	backend := objstore.NewMemStore(objstore.MemConfig{
-		Replication:    *replication,
-		WriteBandwidth: *writeBW,
-		ReadBandwidth:  *readBW,
-	})
+
+	var backend objstore.Store
+	var acct objstore.Accountant
+	if *dataDir != "" {
+		policy, interval, err := objstore.ParseFsync(*fsync)
+		if err != nil {
+			logger.Fatalf("%v", err)
+		}
+		if *writeBW > 0 || *readBW > 0 {
+			logger.Printf("warning: -write-bw/-read-bw shape the memory backend only; the disk backend's bandwidth is the device's")
+		}
+		ds, err := objstore.NewDiskStore(objstore.DiskConfig{
+			Dir:          *dataDir,
+			Fsync:        policy,
+			SyncInterval: interval,
+			CompactRatio: *compactRatio,
+			Replication:  *replication,
+			SyncDelay:    *syncDelay,
+			Logf:         logger.Printf,
+		})
+		if err != nil {
+			logger.Fatalf("open disk store: %v", err)
+		}
+		backend, acct = ds, ds
+		logger.Printf("disk backend at %s (fsync=%s)", *dataDir, policy)
+	} else {
+		ms := objstore.NewMemStore(objstore.MemConfig{
+			Replication:    *replication,
+			WriteBandwidth: *writeBW,
+			ReadBandwidth:  *readBW,
+		})
+		backend, acct = ms, ms
+	}
+	if *putDelay > 0 {
+		slow := objstore.NewSlowStore(backend)
+		slow.SetPutDelay(*putDelay)
+		backend = slow
+	}
+
 	srv, err := objstore.NewServer(*addr, backend, objstore.ServerConfig{
 		Logf: objstore.Logger(logger),
 	})
@@ -50,7 +93,7 @@ func main() {
 			t := time.NewTicker(*statsEvery)
 			defer t.Stop()
 			for range t.C {
-				u := backend.Usage()
+				u := acct.Usage()
 				logger.Printf("objects=%d capacity=%dB written=%dB read=%dB puts=%d gets=%d",
 					u.Objects, u.CapacityBytes, u.BytesWritten, u.BytesRead, u.Puts, u.Gets)
 			}
@@ -61,5 +104,10 @@ func main() {
 	logger.Printf("shutting down")
 	if err := srv.Close(); err != nil {
 		logger.Printf("close: %v", err)
+	}
+	// A clean shutdown syncs and releases the disk backend (kill -9 is
+	// the path that exercises recovery).
+	if err := backend.Close(); err != nil {
+		logger.Printf("close backend: %v", err)
 	}
 }

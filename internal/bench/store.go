@@ -43,28 +43,63 @@ func storeKey(worker, slot int) string {
 	return fmt.Sprintf("bench/sweep/w%02d/obj%04d", worker, slot)
 }
 
-// storeFleet spins up n TCP store servers and a routed client over them.
-func storeFleet(b *testing.B, n int) objstore.Store {
-	b.Helper()
-	addrs := make([]string, n)
-	for i := range addrs {
-		backend := objstore.NewMemStore(objstore.MemConfig{
-			WriteBandwidth: storeBenchBW,
-			ReadBandwidth:  storeBenchBW,
+// storeFleet spins up n TCP store servers (shaped MemStore backends)
+// and a routed client over them.
+func storeFleet(n int, writeBW, readBW float64) fleetFn {
+	return func(b *testing.B) objstore.Store {
+		b.Helper()
+		addrs := make([]string, n)
+		for i := range addrs {
+			backend := objstore.NewMemStore(objstore.MemConfig{
+				WriteBandwidth: writeBW,
+				ReadBandwidth:  readBW,
+			})
+			srv, err := objstore.NewServer("127.0.0.1:0", backend, objstore.ServerConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { srv.Close() })
+			addrs[i] = srv.Addr()
+		}
+		store, err := objstore.Connect(strings.Join(addrs, ","), objstore.ClientConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { store.Close() })
+		return store
+	}
+}
+
+// fleetFn builds the store a sweep cell drives.
+type fleetFn func(b *testing.B) objstore.Store
+
+// diskFleet spins up one TCP store server over a DiskStore with the
+// given fsync policy — the durability/latency rows of BENCH_store.json.
+// Real fsyncs against the bench host's filesystem: the whole point is
+// measuring what each policy costs on actual hardware.
+func diskFleet(policy objstore.FsyncPolicy) fleetFn {
+	return func(b *testing.B) objstore.Store {
+		b.Helper()
+		ds, err := objstore.NewDiskStore(objstore.DiskConfig{
+			Dir:   b.TempDir(),
+			Fsync: policy,
 		})
-		srv, err := objstore.NewServer("127.0.0.1:0", backend, objstore.ServerConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { ds.Close() })
+		srv, err := objstore.NewServer("127.0.0.1:0", ds, objstore.ServerConfig{})
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.Cleanup(func() { srv.Close() })
-		addrs[i] = srv.Addr()
+		store, err := objstore.Connect(srv.Addr(), objstore.ClientConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { store.Close() })
+		return store
 	}
-	store, err := objstore.Connect(strings.Join(addrs, ","), objstore.ClientConfig{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.Cleanup(func() { store.Close() })
-	return store
 }
 
 // reportPercentiles folds the per-op latency samples into p50/p99
@@ -85,10 +120,10 @@ func reportPercentiles(b *testing.B, samples []time.Duration) {
 // storeSweep is one cell of the payload × store-count × concurrency
 // matrix. One benchmark op = conc concurrent operations of payload
 // bytes each, so MB/s is the aggregate bandwidth across the fleet.
-func storeSweep(stores, payload, conc int, get bool) func(b *testing.B) {
+func storeSweep(fleet fleetFn, payload, conc int, get bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		ctx := context.Background()
-		store := storeFleet(b, stores)
+		store := fleet(b)
 		buf := make([]byte, payload)
 		for i := range buf {
 			buf[i] = byte(i * 131)
@@ -168,11 +203,23 @@ func sizeLabel(n int) string {
 	return fmt.Sprintf("%dKiB", n>>10)
 }
 
-// StoreCases enumerates the routed-store sweep: payload size ×
-// store-process count × client concurrency, Put everywhere plus Get at
-// the fan-out concurrency. Case names read Put_64KiB_s4_c8 = 64 KiB
-// payloads, 4 store processes, 8 concurrent clients.
+// StoreCases enumerates the store sweep at the default shaping
+// bandwidth (64 MiB/s each way per backend).
 func StoreCases() []Case {
+	return StoreCasesBW(storeBenchBW, storeBenchBW)
+}
+
+// StoreCasesBW enumerates the routed-store sweep — payload size ×
+// store-process count × client concurrency, Put everywhere plus Get at
+// the fan-out concurrency — with per-backend write/read bandwidth
+// shaping in bytes/sec (0 disables that direction's throttle). Case
+// names read Put_64KiB_s4_c8 = 64 KiB payloads, 4 store processes, 8
+// concurrent clients. On top of the shaped MemStore matrix, a
+// DiskStore fsync-policy column (DiskPut_<size>_c8_fsync_<policy>)
+// measures what each durability level costs on the bench host's real
+// filesystem: always pays an fsync per Put, interval batches them,
+// never leans entirely on the OS page cache.
+func StoreCasesBW(writeBW, readBW float64) []Case {
 	payloads := []int{64 << 10, 1 << 20}
 	storeCounts := []int{1, 2, 4}
 	concs := []int{1, 8}
@@ -182,7 +229,7 @@ func StoreCases() []Case {
 			for _, c := range concs {
 				cases = append(cases, Case{
 					Name: fmt.Sprintf("Put_%s_s%d_c%d", sizeLabel(p), s, c),
-					Run:  storeSweep(s, p, c, false),
+					Run:  storeSweep(storeFleet(s, writeBW, readBW), p, c, false),
 				})
 			}
 		}
@@ -193,7 +240,15 @@ func StoreCases() []Case {
 		for _, s := range storeCounts {
 			cases = append(cases, Case{
 				Name: fmt.Sprintf("Get_%s_s%d_c8", sizeLabel(p), s),
-				Run:  storeSweep(s, p, 8, true),
+				Run:  storeSweep(storeFleet(s, writeBW, readBW), p, 8, true),
+			})
+		}
+	}
+	for _, p := range payloads {
+		for _, pol := range []objstore.FsyncPolicy{objstore.FsyncAlways, objstore.FsyncInterval, objstore.FsyncNever} {
+			cases = append(cases, Case{
+				Name: fmt.Sprintf("DiskPut_%s_c8_fsync_%s", sizeLabel(p), pol),
+				Run:  storeSweep(diskFleet(pol), p, 8, false),
 			})
 		}
 	}

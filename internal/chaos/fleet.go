@@ -5,7 +5,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -54,6 +56,24 @@ type FleetConfig struct {
 	// of hosting stores and shards in-process.
 	Procs bool
 	Bins  Bins
+	// StoreBackend selects the store-plane backend: "mem" (default) or
+	// "disk" (the crash-consistent segment log). Only disk-backed stores
+	// may be killed and restarted — a killed MemStore is just data loss.
+	StoreBackend string
+	// Fsync is the disk backend's flag-style fsync policy ("always",
+	// "interval[:dur]", "never"); default "always".
+	Fsync string
+	// CompactRatio is the disk backend's compaction trigger (0 = its
+	// default).
+	CompactRatio float64
+	// DiskPutDelay injects latency into every store mutation (the
+	// slow-disk shim); DiskSyncDelay injects latency into every fsync.
+	DiskPutDelay  time.Duration
+	DiskSyncDelay time.Duration
+	// DataRoot hosts the per-store data directories for the disk
+	// backend; empty means a fleet-owned temp directory removed on
+	// Close.
+	DataRoot string
 	// Logf receives fleet diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -87,6 +107,19 @@ func (cfg *FleetConfig) withDefaults() (FleetConfig, error) {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	switch c.StoreBackend {
+	case "":
+		c.StoreBackend = "mem"
+	case "mem", "disk":
+	default:
+		return c, fmt.Errorf("chaos: unknown store backend %q (want mem or disk)", c.StoreBackend)
+	}
+	if c.Fsync == "" {
+		c.Fsync = "always"
+	}
+	if _, _, err := objstore.ParseFsync(c.Fsync); err != nil {
+		return c, err
+	}
 	if c.Procs {
 		if c.Bins.Objstored == "" || c.Bins.Shardd == "" {
 			return c, errors.New("chaos: process-mode fleet requires Bins.Objstored and Bins.Shardd")
@@ -99,11 +132,17 @@ func (cfg *FleetConfig) withDefaults() (FleetConfig, error) {
 }
 
 // storeNode is one object-store member: a real TCP server (in-process
-// or forked) plus its two shims.
+// or forked) plus its two shims. Disk-backed nodes keep their data
+// directory so a killed store restarts from its on-disk log — at the
+// SAME address, because the observer and every client hold the raw
+// address, not a name.
 type storeNode struct {
-	addr string // the real server address (unshimmed)
-	srv  *objstore.Server
-	proc *child
+	addr  string // the real server address (unshimmed); stable across restarts
+	srv   *objstore.Server
+	proc  *child
+	dir   string              // disk backend data directory ("" for mem)
+	disk  *objstore.DiskStore // in-process disk backend (Crash hook)
+	alive bool
 }
 
 // shardNode is one shard agent: host (or forked shardd), its direct
@@ -128,8 +167,10 @@ type shardNode struct {
 // wires. The observer store and the invariant checker's agent probes
 // bypass every shim — faults never blind the checker.
 type Fleet struct {
-	cfg  FleetConfig
-	logf func(format string, args ...any)
+	cfg          FleetConfig
+	logf         func(format string, args ...any)
+	dataRoot     string
+	ownsDataRoot bool
 
 	stores     []*storeNode
 	storeShims []*Proxy // shard-side; Addr() is the canonical routing name
@@ -164,21 +205,23 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 
 	// Store plane: M servers, each behind a shard-side and a
 	// controller-side shim.
+	if c.StoreBackend == "disk" {
+		f.dataRoot = c.DataRoot
+		if f.dataRoot == "" {
+			f.dataRoot, err = os.MkdirTemp("", "chaos-fleet-")
+			if err != nil {
+				return fail(fmt.Errorf("chaos: fleet data root: %w", err))
+			}
+			f.ownsDataRoot = true
+		}
+	}
 	for i := 0; i < c.Stores; i++ {
 		sn := &storeNode{}
-		if c.Procs {
-			ch, err := startChild(c.Logf, fmt.Sprintf("objstored[%d]", i), c.Bins.Objstored,
-				"-addr", "127.0.0.1:0", "-stats", "0")
-			if err != nil {
-				return fail(err)
-			}
-			sn.proc, sn.addr = ch, ch.addr
-		} else {
-			srv, err := objstore.NewServer("127.0.0.1:0", objstore.NewMemStore(objstore.MemConfig{}), objstore.ServerConfig{})
-			if err != nil {
-				return fail(err)
-			}
-			sn.srv, sn.addr = srv, srv.Addr()
+		if c.StoreBackend == "disk" {
+			sn.dir = filepath.Join(f.dataRoot, fmt.Sprintf("store-%d", i))
+		}
+		if err := f.startStore(sn, i, false); err != nil {
+			return fail(err)
 		}
 		f.stores = append(f.stores, sn)
 		shim, err := NewProxy(fmt.Sprintf("store:%d", i), "127.0.0.1:0", sn.addr, c.Logf)
@@ -243,6 +286,150 @@ func (f *Fleet) storeSpec() string {
 		spec += shim.Addr()
 	}
 	return spec
+}
+
+// startStore launches store i. On restart the server must rebind the
+// node's original address: the observer, the routed clients, and both
+// shims all hold the raw address, so a restarted store that moved would
+// silently drop out of the fleet.
+func (f *Fleet) startStore(sn *storeNode, i int, restart bool) error {
+	bind := "127.0.0.1:0"
+	if restart {
+		bind = sn.addr
+	}
+	if f.cfg.Procs {
+		args := []string{"-addr", bind, "-stats", "0"}
+		if sn.dir != "" {
+			args = append(args,
+				"-data-dir", sn.dir,
+				"-fsync", f.cfg.Fsync,
+				"-compact-ratio", fmt.Sprint(f.cfg.CompactRatio),
+			)
+			if f.cfg.DiskPutDelay > 0 {
+				args = append(args, "-put-delay", f.cfg.DiskPutDelay.String())
+			}
+			if f.cfg.DiskSyncDelay > 0 {
+				args = append(args, "-sync-delay", f.cfg.DiskSyncDelay.String())
+			}
+		}
+		// On restart the fixed port may be momentarily unavailable; a
+		// failed bind makes the child exit before printing its address.
+		var ch *child
+		var err error
+		for attempt := 0; ; attempt++ {
+			ch, err = startChild(f.logf, fmt.Sprintf("objstored[%d]", i), f.cfg.Bins.Objstored, args...)
+			if err == nil || !restart || attempt >= 10 {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if err != nil {
+			return err
+		}
+		sn.proc, sn.addr, sn.alive = ch, ch.addr, true
+		return nil
+	}
+	var backend objstore.Store
+	if sn.dir != "" {
+		policy, interval, err := objstore.ParseFsync(f.cfg.Fsync)
+		if err != nil {
+			return err
+		}
+		ds, err := objstore.NewDiskStore(objstore.DiskConfig{
+			Dir:          sn.dir,
+			Fsync:        policy,
+			SyncInterval: interval,
+			CompactRatio: f.cfg.CompactRatio,
+			SyncDelay:    f.cfg.DiskSyncDelay,
+			Logf:         f.logf,
+		})
+		if err != nil {
+			return fmt.Errorf("chaos: store %d disk backend: %w", i, err)
+		}
+		sn.disk = ds
+		backend = ds
+	} else {
+		backend = objstore.NewMemStore(objstore.MemConfig{})
+	}
+	if f.cfg.DiskPutDelay > 0 {
+		slow := objstore.NewSlowStore(backend)
+		slow.SetPutDelay(f.cfg.DiskPutDelay)
+		backend = slow
+	}
+	// A restart rebinds an address the dead listener just vacated; give
+	// the kernel a beat if the port is momentarily in transition.
+	var srv *objstore.Server
+	var err error
+	for attempt := 0; ; attempt++ {
+		srv, err = objstore.NewServer(bind, backend, objstore.ServerConfig{})
+		if err == nil || !restart || attempt >= 50 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("chaos: store %d listen %s: %w", i, bind, err)
+	}
+	sn.srv, sn.addr, sn.alive = srv, srv.Addr(), true
+	return nil
+}
+
+// KillStore crashes store i without any flush: SIGKILL in process
+// mode, listener teardown plus DiskStore.Crash in-process. Only valid
+// for disk-backed fleets — killing a MemStore is unrecoverable data
+// loss, not a crash.
+func (f *Fleet) KillStore(i int) error {
+	sn := f.stores[i]
+	if sn.dir == "" {
+		return fmt.Errorf("chaos: kill-store requires the disk store backend")
+	}
+	if !sn.alive {
+		return nil
+	}
+	if sn.proc != nil {
+		sn.proc.kill()
+		sn.proc = nil
+	} else {
+		sn.srv.Close()
+		sn.srv = nil
+		sn.disk.Crash()
+		sn.disk = nil
+	}
+	sn.alive = false
+	f.logf("chaos: killed store %d", i)
+	return nil
+}
+
+// RestartStore brings a killed store back from its on-disk log at its
+// original address and drops stale shim connections so clients
+// re-dial.
+func (f *Fleet) RestartStore(i int) error {
+	sn := f.stores[i]
+	if sn.alive {
+		return fmt.Errorf("chaos: store %d is already running", i)
+	}
+	if err := f.startStore(sn, i, true); err != nil {
+		return err
+	}
+	f.storeShims[i].DropConns()
+	f.ctrlShims[i].DropConns()
+	f.logf("chaos: restarted store %d at %s from %s", i, sn.addr, sn.dir)
+	return nil
+}
+
+// StoreAlive reports whether store i is currently running.
+func (f *Fleet) StoreAlive(i int) bool { return f.stores[i].alive }
+
+// AllStoresAlive reports whether every store is up — the gate for
+// store-side invariant checks (a dead store makes observer reads fail
+// by design, not by bug).
+func (f *Fleet) AllStoresAlive() bool {
+	for _, sn := range f.stores {
+		if !sn.alive {
+			return false
+		}
+	}
+	return true
 }
 
 func (f *Fleet) startShard(sn *shardNode, s int, rejoin bool) error {
@@ -535,6 +722,12 @@ func (f *Fleet) Close() {
 		if sn.srv != nil {
 			sn.srv.Close()
 		}
+		if sn.disk != nil {
+			sn.disk.Close()
+		}
+	}
+	if f.ownsDataRoot {
+		os.RemoveAll(f.dataRoot)
 	}
 }
 

@@ -96,6 +96,15 @@ func (c *Checker) freshModel() (*model.DLRM, error) {
 func (c *Checker) Check(ctx context.Context, committed []Committed) ([]Violation, error) {
 	var out []Violation
 
+	// Store-side invariants read ground truth through the observer,
+	// which needs every store up: a killed (disk-backed) store makes
+	// reads fail by script, not by bug. The checks resume — over the
+	// recovered on-disk state — at the step after restart-store, which
+	// is where the durability claim is actually decided.
+	if !c.f.AllStoresAlive() {
+		return c.checkAgentsOnly(ctx, committed)
+	}
+
 	rest, err := ckpt.NewRestorer(c.f.cfg.JobID, c.f.observer)
 	if err != nil {
 		return nil, err
@@ -195,6 +204,29 @@ func (c *Checker) Check(ctx context.Context, committed []Committed) ([]Violation
 			Invariant: "restore-latest",
 			Detail:    fmt.Sprintf("restored state diverges from reference at step %d: %s", want.Step, diff),
 		})
+	}
+	return out, nil
+}
+
+// checkAgentsOnly is the degraded check while a store is down: agent ID
+// convergence still holds (live agents probe over unshimmed links), but
+// store reads would fail for scripted reasons.
+func (c *Checker) checkAgentsOnly(ctx context.Context, committed []Committed) ([]Violation, error) {
+	var out []Violation
+	for s := 0; s < c.f.Shards(); s++ {
+		if !c.f.ShardAlive(s) {
+			continue
+		}
+		st, err := c.f.AgentStatus(ctx, s)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: status shard %d: %w", s, err)
+		}
+		if st.NextID != len(committed) {
+			out = append(out, Violation{
+				Invariant: "id-convergence",
+				Detail:    fmt.Sprintf("shard %d expects next checkpoint %d, scenario committed %d", s, st.NextID, len(committed)),
+			})
+		}
 	}
 	return out, nil
 }

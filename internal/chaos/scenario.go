@@ -35,6 +35,17 @@ type FleetSpec struct {
 	QuantBits   int    `json:"quant_bits,omitempty"`
 	OpTimeoutMs int    `json:"op_timeout_ms,omitempty"`
 	LeaseTTLMs  int    `json:"lease_ttl_ms,omitempty"`
+	// StoreBackend pins the store plane to "mem" or "disk". Empty defers
+	// to the runner (RunnerConfig.DiskStores), so the same campaign runs
+	// against both backends in the nightly matrix; campaigns that kill
+	// stores must pin "disk".
+	StoreBackend string `json:"store_backend,omitempty"`
+	// Disk-backend knobs (ignored for mem): fsync policy flag value,
+	// compaction trigger, and injected device latencies.
+	Fsync           string  `json:"fsync,omitempty"`
+	CompactRatio    float64 `json:"compact_ratio,omitempty"`
+	DiskPutDelayMs  int     `json:"disk_put_delay_ms,omitempty"`
+	DiskSyncDelayMs int     `json:"disk_sync_delay_ms,omitempty"`
 }
 
 // FaultSpec describes a link degradation. Zero-valued fields are
@@ -64,8 +75,14 @@ type FaultSpec struct {
 //	              inside the commit window.
 //	fault       — apply Fault to every Target link.
 //	heal        — restore Target links (all links when Target is empty).
-//	kill        — crash shard Shard (SIGKILL / Host.Kill).
+//	kill        — crash shard Shard (SIGKILL / Host.Kill). A checkpoint
+//	              step's Kill field also accepts "store:<i>"/"store:anchor"
+//	              to kill a disk-backed store inside the commit window.
 //	restart     — restart shard Shard with -recover.
+//	kill-store  — kill -9 store Target ("store:<i>" or "store:anchor");
+//	              disk-backed fleets only.
+//	restart-store — restart a killed store from its on-disk log at its
+//	              original address.
 //	lead        — elect Holder as leader (initial election).
 //	failover    — abandon the current leader and promote Holder, who
 //	              waits out the lease TTL like a real standby.
@@ -122,6 +139,9 @@ type RunnerConfig struct {
 	// default: a campaign that "passes" by injecting corruption is a
 	// checker test, not a system test.
 	AllowInjection bool
+	// DiskStores runs every campaign that doesn't pin a store backend on
+	// the disk backend — the nightly both-backends matrix switch.
+	DiskStores bool
 	// Logf receives the fleet's and runner's diagnostics; nil discards.
 	Logf func(format string, args ...any)
 }
@@ -181,6 +201,15 @@ func Run(ctx context.Context, sc *Scenario, rcfg RunnerConfig) (*Result, error) 
 		Procs:     rcfg.Procs,
 		Bins:      rcfg.Bins,
 		Logf:      rcfg.Logf,
+
+		StoreBackend:  sc.Fleet.StoreBackend,
+		Fsync:         sc.Fleet.Fsync,
+		CompactRatio:  sc.Fleet.CompactRatio,
+		DiskPutDelay:  time.Duration(sc.Fleet.DiskPutDelayMs) * time.Millisecond,
+		DiskSyncDelay: time.Duration(sc.Fleet.DiskSyncDelayMs) * time.Millisecond,
+	}
+	if fcfg.StoreBackend == "" && rcfg.DiskStores {
+		fcfg.StoreBackend = "disk"
 	}
 	if sc.Fleet.Policy != "" {
 		kind, err := parsePolicy(sc.Fleet.Policy)
@@ -268,6 +297,20 @@ func (r *runner) exec(ctx context.Context, s *Step, sr *StepResult) error {
 	case "restart":
 		sr.Detail = fmt.Sprintf("shard %d", s.Shard)
 		return r.f.RestartShard(s.Shard)
+	case "kill-store":
+		i, err := r.storeIndex(s.Target, "store")
+		if err != nil {
+			return err
+		}
+		sr.Detail = fmt.Sprintf("store %d", i)
+		return r.f.KillStore(i)
+	case "restart-store":
+		i, err := r.storeIndex(s.Target, "store")
+		if err != nil {
+			return err
+		}
+		sr.Detail = fmt.Sprintf("store %d", i)
+		return r.f.RestartStore(i)
 	case "lead":
 		sr.Detail = s.Holder
 		return r.f.Lead(ctx, s.Holder)
@@ -347,17 +390,26 @@ func (r *runner) buildHook(s *Step) (func(), error) {
 			return nil, err
 		}
 	}
-	var kills []int
+	var shardKills, storeKills []int
 	if s.Kill != "" {
 		for _, part := range strings.Split(s.Kill, ",") {
+			part = strings.TrimSpace(part)
+			if strings.HasPrefix(part, "store:") {
+				idx, err := r.storeIndex(part, "store")
+				if err != nil {
+					return nil, err
+				}
+				storeKills = append(storeKills, idx)
+				continue
+			}
 			idx, err := targetIndex(part, "shard", r.f.Shards())
 			if err != nil {
 				return nil, err
 			}
-			kills = append(kills, idx)
+			shardKills = append(shardKills, idx)
 		}
 	}
-	if shims == nil && kills == nil {
+	if shims == nil && shardKills == nil && storeKills == nil {
 		return nil, fmt.Errorf("checkpoint step has at=%q but neither fault nor kill", s.At)
 	}
 	fault := s.Fault
@@ -365,8 +417,13 @@ func (r *runner) buildHook(s *Step) (func(), error) {
 		if fault != nil {
 			applyFault(shims, fault)
 		}
-		for _, sh := range kills {
+		for _, sh := range shardKills {
 			r.f.KillShard(sh)
+		}
+		for _, st := range storeKills {
+			if err := r.f.KillStore(st); err != nil {
+				r.f.logf("chaos: in-window kill-store %d: %v", st, err)
+			}
 		}
 	}, nil
 }

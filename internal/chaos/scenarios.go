@@ -15,6 +15,18 @@ package chaos
 // a 4s op deadline so stalled-store scenarios unstick within a step.
 var fleet3x3 = FleetSpec{Shards: 3, Stores: 3, LeaseTTLMs: 500, OpTimeoutMs: 4000}
 
+// fleetDisk3x3 is the same topology pinned to the disk store backend —
+// the shape for campaigns that kill stores (a killed MemStore is data
+// loss, not a crash). Delays inject slow-device latency in ms.
+func fleetDisk3x3(fsync string, putDelayMs, syncDelayMs int) FleetSpec {
+	fs := fleet3x3
+	fs.StoreBackend = "disk"
+	fs.Fsync = fsync
+	fs.DiskPutDelayMs = putDelayMs
+	fs.DiskSyncDelayMs = syncDelayMs
+	return fs
+}
+
 // BuiltinScenarios returns the full campaign matrix.
 func BuiltinScenarios() []*Scenario {
 	return []*Scenario{
@@ -153,6 +165,41 @@ func BuiltinScenarios() []*Scenario {
 			},
 		},
 		{
+			Name: "kill9-objstored-mid-commit",
+			Description: "the anchor store is killed -9 between prepare and commit and restarted from its " +
+				"on-disk segment log; the torn attempt aborts, recovery truncates the torn tail, and the " +
+				"retried commit plus RestoreLatest are bit-identical",
+			Fleet: fleetDisk3x3("always", 0, 0),
+			Steps: []Step{
+				{Op: "lead", Holder: "leader-0"},
+				{Op: "checkpoint", Step: 4},
+				// The lease renewal immediately before the composite Put
+				// lands on the anchor, so killing it in this window aborts
+				// the commit deterministically — with writes torn mid-Put.
+				{Op: "checkpoint", Step: 8, At: "after-prepare", Kill: "store:anchor", Expect: "fail"},
+				{Op: "restart-store", Target: "store:anchor"},
+				{Op: "checkpoint", Step: 8},
+				{Op: "sweep"},
+				{Op: "checkpoint", Step: 12},
+			},
+		},
+		{
+			Name: "commit-under-slow-fsync",
+			Description: "every disk write and fsync pays injected device latency under fsync=always; " +
+				"commits slow down but stay correct, and a kill-9/restart cycle at the end proves the " +
+				"synced log restores bit-identically",
+			Fleet: fleetDisk3x3("always", 1, 2),
+			Steps: []Step{
+				{Op: "lead", Holder: "leader-0"},
+				{Op: "checkpoint", Step: 4},
+				{Op: "checkpoint", Step: 8},
+				{Op: "kill-store", Target: "store:1"},
+				{Op: "restart-store", Target: "store:1"},
+				{Op: "checkpoint", Step: 12},
+				{Op: "sweep"},
+			},
+		},
+		{
 			Name:        "flap-agent-partition",
 			Description: "agents drop out and heal repeatedly across consecutive commits",
 			Fleet:       fleet3x3,
@@ -174,12 +221,14 @@ func BuiltinScenarios() []*Scenario {
 }
 
 // smallMatrix names the per-PR subset: one throttle campaign, one crash
-// campaign, one partition+failover campaign — each exercising a
-// different commit window, all fast enough for `-race` in CI.
+// campaign, one partition+failover campaign, and the disk-backed
+// store-kill campaign — each exercising a different commit window, all
+// fast enough for `-race` in CI.
 var smallMatrix = []string{
 	"slow-store-throttle",
 	"kill-during-publish",
 	"partition-leader-mid-commit",
+	"kill9-objstored-mid-commit",
 }
 
 // SmallScenarios returns the per-PR subset of the builtin matrix.
