@@ -8,11 +8,13 @@
 //     microbenchmarks (the data-plane hot path in isolation)
 //   - BENCH_store.json: routed-store Put/Get sweep over payload size ×
 //     store-process count × concurrency (aggregate MB/s + p50/p99)
+//   - BENCH_serve.json: serving-replica embedding lookups, static and
+//     under concurrent commit traffic (p50/p99 + commits/op)
 //
 // Usage:
 //
 //	benchci -out BENCH_coordinator.json -wire-out BENCH_wire.json \
-//	    -store-out BENCH_store.json -benchtime 1s
+//	    -store-out BENCH_store.json -serve-out BENCH_serve.json -benchtime 1s
 package main
 
 import (
@@ -84,6 +86,7 @@ func main() {
 	out := flag.String("out", "BENCH_coordinator.json", "coordinator artifact path (empty = skip)")
 	wireOut := flag.String("wire-out", "BENCH_wire.json", "wire/quant artifact path (empty = skip)")
 	storeOut := flag.String("store-out", "BENCH_store.json", "routed-store sweep artifact path (empty = skip)")
+	serveOut := flag.String("serve-out", "BENCH_serve.json", "serving-replica lookup artifact path (empty = skip)")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark budget (e.g. 1s, 100x)")
 	writeBW := flag.Float64("write-bw", 64<<20, "per-backend write bandwidth shaping for the store sweep, bytes/sec (0 = unthrottled)")
 	readBW := flag.Float64("read-bw", 64<<20, "per-backend read bandwidth shaping for the store sweep, bytes/sec (0 = unthrottled)")
@@ -97,6 +100,9 @@ func main() {
 	}
 	if *storeOut != "" {
 		runSuite(*storeOut, "Store/", *benchtime, bench.StoreCasesBW(*writeBW, *readBW))
+	}
+	if *serveOut != "" {
+		runSuite(*serveOut, "Serve/", *benchtime, bench.ServeCases())
 	}
 	if *out != "" {
 		runSuite(*out, "Coordinator/", *benchtime, bench.CoordinatorCases())

@@ -42,6 +42,8 @@ func main() {
 	stride := flag.Uint64("stride", 8, "training steps between checkpoint cuts")
 	keep := flag.Int("keep", 0, "composite-level KeepLast retention (0 keeps everything)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-checkpoint deadline")
+	opTimeout := flag.Duration("op-timeout", 30*time.Second, "budget for the controller's own store/discovery operations")
+	announce := flag.String("announce", "", "announce endpoint to listen on for serving-replica subscriptions (empty = off)")
 	standby := flag.Bool("standby", false, "wait for the current leader's lease to lapse, then take over")
 	noLease := flag.Bool("no-lease", false, "skip the lease register; legacy flag-or-max+1 epoch mode")
 	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "lease duration between renewals")
@@ -119,13 +121,25 @@ func main() {
 		}()
 	}
 
+	var announcer *ctrl.Announcer
+	if *announce != "" {
+		announcer, err = ctrl.NewAnnouncer(*announce, *job, objstore.Logger(logger))
+		if err != nil {
+			logger.Fatalf("announce endpoint: %v", err)
+		}
+		defer announcer.Close()
+		logger.Printf("announcing commits on %s", announcer.Addr())
+	}
+
 	cfg := ctrl.ControllerConfig{
-		JobID:    *job,
-		Store:    store,
-		Agents:   strings.Split(*agents, ","),
-		KeepLast: *keep,
-		Lease:    lease,
-		Logf:     objstore.Logger(logger),
+		JobID:     *job,
+		Store:     store,
+		Agents:    strings.Split(*agents, ","),
+		KeepLast:  *keep,
+		Lease:     lease,
+		OpTimeout: *opTimeout,
+		Announcer: announcer,
+		Logf:      objstore.Logger(logger),
 	}
 	if lease == nil {
 		cfg.Epoch = *epoch

@@ -33,6 +33,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/model"
 	"repro/internal/objstore"
+	"repro/internal/serve"
 	"repro/internal/trainer"
 )
 
@@ -54,6 +55,9 @@ func main() {
 		return
 	case "shard":
 		runShard()
+		return
+	case "replica":
+		runReplica()
 		return
 	}
 
@@ -139,6 +143,31 @@ func runShard() {
 	fmt.Println(host.Addr())
 	waitForSignal()
 	host.Close()
+}
+
+// runReplica is one forked serving replica: it bootstraps from the
+// newest committed composite in the store, subscribes to the announce
+// plane, and answers embedding lookups over its own TCP port — the
+// read path that turns checkpoints into an always-on serving table.
+func runReplica() {
+	store, err := objstore.Connect(os.Getenv("FLEET_STORE"), objstore.ClientConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := serve.Start(serve.Config{
+		JobID:        fleetJob,
+		Store:        store,
+		AnnounceAddr: os.Getenv("FLEET_ANNOUNCE"),
+		ResyncEvery:  500 * time.Millisecond,
+		Logf:         log.New(os.Stderr, "replica: ", 0).Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Addr())
+	waitForSignal()
+	rep.Close()
+	store.Close()
 }
 
 func waitForSignal() {
@@ -243,6 +272,28 @@ func runDistributedDemo() error {
 		fmt.Printf("shardd %d pid %d on %s\n", s, proc.Process.Pid, addr)
 	}
 
+	// The announce plane is deployment-owned, like a stable VIP in front
+	// of whichever controller currently leads: this process hosts it,
+	// every controller incarnation announces through it, and the
+	// replica's subscription survives leader failover.
+	annc, err := ctrl.NewAnnouncer("127.0.0.1:0", fleetJob, log.New(os.Stderr, "announce: ", 0).Printf)
+	if err != nil {
+		return err
+	}
+	defer annc.Close()
+
+	// The read plane: a forked serving replica that pulls the baseline
+	// from the store and follows announcements for each delta.
+	rproc, raddr, err := fork("replica",
+		"FLEET_STORE="+storeSpec,
+		"FLEET_ANNOUNCE="+annc.Addr(),
+	)
+	if err != nil {
+		return err
+	}
+	children = append(children, rproc)
+	fmt.Printf("replica pid %d serving lookups on %s\n", rproc.Process.Pid, raddr)
+
 	// Connect via a single seed address: the membership record expands it
 	// to the full routed fleet, proving discovery round-trips.
 	store, err := objstore.Connect(storeAddrs[0], objstore.ClientConfig{})
@@ -269,24 +320,49 @@ func runDistributedDemo() error {
 		return err
 	}
 	c, err := ctrl.NewController(ctrl.ControllerConfig{
-		JobID: fleetJob, Store: store, Agents: addrs, Lease: lease,
+		JobID: fleetJob, Store: store, Agents: addrs, Lease: lease, Announcer: annc,
 	})
 	if err != nil {
 		return err
 	}
 	defer c.Close()
 
+	// A lookup client against the replica, and a convergence poll: keep
+	// probing until the replica reports it serves at least checkpoint
+	// wantID. Lookup errors (including not-ready before the first sync)
+	// just mean "not yet".
+	rcl := serve.NewClient(raddr, serve.ClientConfig{})
+	defer rcl.Close()
+	waitServe := func(wantID int) (*serve.Client, error) {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := rcl.Lookup(ctx, 0, []uint32{0})
+			if err == nil && resp.CkptID >= wantID {
+				return rcl, nil
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("fleet: replica never converged on checkpoint %d: %v", wantID, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
 	var lastStep uint64
+	lastID := -1
 	for round := 1; round <= 3; round++ {
 		step := uint64(round) * 8
 		man, err := c.Checkpoint(ctx, step)
 		if err != nil {
 			return err
 		}
-		lastStep = man.Step
+		lastStep, lastID = man.Step, man.ID
 		fmt.Printf("ckpt %d: %-11s %d shards, %6d bytes payload, step %d\n",
 			man.ID, man.Kind, man.ShardCount, man.PayloadBytes, man.Step)
 	}
+	if _, err := waitServe(lastID); err != nil {
+		return err
+	}
+	fmt.Printf("replica converged on ckpt %d via the announce stream\n", lastID)
 
 	// Self-healing: SIGKILL one shardd mid-fleet, restart it with
 	// recovery on, and fail the controller over through the lease
@@ -301,6 +377,14 @@ func runDistributedDemo() error {
 	if err := lease.Release(ctx); err != nil {
 		return err
 	}
+
+	// The leader is gone mid-stream, but the read plane doesn't care:
+	// the replica keeps answering from its last committed checkpoint.
+	resp, err := rcl.Lookup(ctx, 0, []uint32{0})
+	if err != nil {
+		return fmt.Errorf("fleet: lookup during failover: %w", err)
+	}
+	fmt.Printf("leaderless window: replica still serving ckpt %d\n", resp.CkptID)
 	proc, addr, err := fork("shard",
 		"FLEET_SHARD=1",
 		"FLEET_SHARDS="+strconv.Itoa(shards),
@@ -326,7 +410,7 @@ func runDistributedDemo() error {
 	}
 	defer leaseB.Release(context.Background())
 	c2, err := ctrl.NewController(ctrl.ControllerConfig{
-		JobID: fleetJob, Store: store, Agents: addrs, Lease: leaseB,
+		JobID: fleetJob, Store: store, Agents: addrs, Lease: leaseB, Announcer: annc,
 	})
 	if err != nil {
 		return err
@@ -341,6 +425,13 @@ func runDistributedDemo() error {
 	lastStep = man.Step
 	fmt.Printf("ckpt %d: %-11s %d shards, %6d bytes payload, step %d\n",
 		man.ID, man.Kind, man.ShardCount, man.PayloadBytes, man.Step)
+	// The successor announces through the same deployment-owned
+	// announcer, so the replica follows it across the failover without
+	// resubscribing.
+	if _, err := waitServe(man.ID); err != nil {
+		return err
+	}
+	fmt.Printf("replica converged on ckpt %d through the successor's announcements\n", man.ID)
 
 	// Crash-restore on a fresh model in the controller process, then
 	// verify against a local replica trained to the same step: the
@@ -386,6 +477,30 @@ func runDistributedDemo() error {
 		}
 	}
 	fmt.Printf("restored state is bit-identical to a replica trained to step %d\n", lastStep)
+
+	// The serving replica must agree with that same state: every table,
+	// every row, bit for bit — and every response must name the newest
+	// committed checkpoint, proving no torn or half-applied delta.
+	wantID := res.Manifests[0].ID
+	for _, tab := range m2.Sparse.Tables {
+		indices := make([]uint32, tab.Rows)
+		for i := range indices {
+			indices[i] = uint32(i)
+		}
+		resp, err := rcl.Lookup(ctx, uint32(tab.ID), indices)
+		if err != nil {
+			return fmt.Errorf("fleet: replica lookup table %d: %w", tab.ID, err)
+		}
+		if resp.CkptID != wantID {
+			return fmt.Errorf("fleet: replica serves ckpt %d for table %d, want %d", resp.CkptID, tab.ID, wantID)
+		}
+		for i := range tab.Weights.Data {
+			if resp.Vectors[i] != tab.Weights.Data[i] {
+				return fmt.Errorf("fleet: replica lookup differs from restored state at table %d weight %d", tab.ID, i)
+			}
+		}
+	}
+	fmt.Printf("replica lookups are bit-identical to the restored state at ckpt %d\n", wantID)
 
 	// Show how the routed keyspace actually spread over the store fleet.
 	if rs, ok := store.(*objstore.RoutedStore); ok {

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// ramp returns [1ns, 2ns, ..., n ns], already sorted.
+func ramp(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(i + 1)
+	}
+	return out
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		want time.Duration
+	}{
+		// N=0 must not panic (the old int(0.99*(N-1)) form indexed [-0]
+		// safely only by accident of the len==0 guard upstream).
+		{0, 0.99, 0},
+		// A single sample is every percentile.
+		{1, 0.50, 1},
+		{1, 0.99, 1},
+		// Small N: p99 is the max — rank ceil(0.99*N) == N for N < 100.
+		// The old truncation reported sample int(0.99*(N-1)), e.g. 9 of
+		// 10 instead of 10 of 10.
+		{10, 0.99, 10},
+		{16, 0.99, 16},
+		{99, 0.99, 99},
+		// Exactly at the boundary: rank ceil(0.99*100) = 99.
+		{100, 0.99, 99},
+		{1000, 0.99, 990},
+		// Medians.
+		{10, 0.50, 5},
+		{100, 0.50, 50},
+		{101, 0.50, 51},
+		// Degenerate p values clamp instead of indexing out of range.
+		{10, 0.0, 1},
+		{10, 1.0, 10},
+	}
+	for _, c := range cases {
+		if got := percentile(ramp(c.n), c.p); got != c.want {
+			t.Errorf("percentile(N=%d, p=%v) = %v, want %v", c.n, c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileSmallNDoesNotUnderreportTail(t *testing.T) {
+	// The regression that motivated the fix: at benchtime=1x a sweep can
+	// collect just a handful of samples, and p99 must then be the max —
+	// reporting anything smaller hides the tail entirely.
+	samples := []time.Duration{1, 1, 1, 1000}
+	if got := percentile(samples, 0.99); got != 1000 {
+		t.Fatalf("p99 of 4 samples = %v, want the max (1000)", got)
+	}
+	if got := percentile(samples, 0.50); got != 1 {
+		t.Fatalf("p50 of 4 samples = %v, want 1", got)
+	}
+}

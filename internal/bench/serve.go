@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/ctrl"
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/objstore"
+	"repro/internal/serve"
+)
+
+// Serving-plane benchmarks: embedding lookups against a serve.Replica
+// over its real TCP lookup protocol. Emitted as BENCH_serve.json; the
+// row that matters is Lookup_under_commit — read latency while the
+// write plane keeps landing incremental composites, which is the
+// checkpoint-fed read path's whole reason to exist. The static row is
+// the floor it is compared against.
+
+// serveFanIn is the indices-per-lookup batch (a typical per-sample
+// gather); serveBurst scales lookups per benchmark op (conc × burst).
+const (
+	serveFanIn = 64
+	serveBurst = 16
+)
+
+// serveFixture is a live write plane plus a converged replica.
+type serveFixture struct {
+	rep    *serve.Replica
+	commit func() error // one train+commit+announce round
+	close  func()
+}
+
+func newServeFixture(b *testing.B) *serveFixture {
+	b.Helper()
+	store := objstore.NewMemStore(objstore.MemConfig{})
+	m, err := model.New(benchModelConfig(), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := data.NewGenerator(benchDataSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	coord, err := ckpt.NewCoordinator(ckpt.CoordinatorConfig{
+		Config: ckpt.Config{
+			JobID:    "bench-serve",
+			Store:    store,
+			Policy:   ckpt.PolicyOneShot,
+			KeepLast: 2,
+		},
+		Shards: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ann, err := ctrl.NewAnnouncer("127.0.0.1:0", "bench-serve", func(string, ...any) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var step uint64
+	commit := func() error {
+		m.TrainBatch(gen.NextBatch(64))
+		step++
+		snap, err := ckpt.TakeSnapshot(m, step, data.ReaderState{NextSample: gen.Pos(), BatchSize: 64})
+		if err != nil {
+			return err
+		}
+		man, err := coord.Write(ctx, snap)
+		if err != nil {
+			return err
+		}
+		ann.Announce(1, man)
+		return nil
+	}
+	// Full baseline, then a replica converged on it. Announce drives the
+	// replica during the run; the resync ticker is a slow fallback.
+	if err := commit(); err != nil {
+		b.Fatal(err)
+	}
+	rep, err := serve.Start(serve.Config{
+		JobID:        "bench-serve",
+		Store:        store,
+		AnnounceAddr: ann.Addr(),
+		ResyncEvery:  time.Second,
+	})
+	if err != nil {
+		ann.Close()
+		b.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	err = rep.WaitForCheckpoint(wctx, 0)
+	cancel()
+	if err != nil {
+		rep.Close()
+		ann.Close()
+		b.Fatal(err)
+	}
+	return &serveFixture{
+		rep:    rep,
+		commit: commit,
+		close: func() {
+			rep.Close()
+			ann.Close()
+		},
+	}
+}
+
+// serveLookups benchmarks conc concurrent lookup clients, each issuing
+// serveBurst random-table gathers of serveFanIn rows per op. With
+// underCommit set, a background writer keeps committing incremental
+// composites (and announcing them) for the whole timed region, so the
+// replica swaps table versions under the readers; the p50/p99 extras
+// then measure read latency under commit traffic, and commits/op
+// records how much write traffic the run actually absorbed.
+func serveLookups(underCommit bool, conc int) func(b *testing.B) {
+	return func(b *testing.B) {
+		fx := newServeFixture(b)
+		defer fx.close()
+		rows := benchDataSpec().TableRows
+
+		var commits atomic.Int64
+		stop := make(chan struct{})
+		var writerWG sync.WaitGroup
+		if underCommit {
+			writerWG.Add(1)
+			go func() {
+				defer writerWG.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := fx.commit(); err != nil {
+						b.Error(err)
+						return
+					}
+					commits.Add(1)
+					time.Sleep(2 * time.Millisecond)
+				}
+			}()
+		}
+
+		ctx := context.Background()
+		clients := make([]*serve.Client, conc)
+		for w := range clients {
+			clients[w] = serve.NewClient(fx.rep.Addr(), serve.ClientConfig{})
+			defer clients[w].Close()
+		}
+		lat := make([][]time.Duration, conc)
+		errs := make([]error, conc)
+		dim := benchModelConfig().EmbedDim
+		b.SetBytes(int64(conc * serveBurst * serveFanIn * dim * 4))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for w := 0; w < conc; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(i*conc + w)))
+					indices := make([]uint32, serveFanIn)
+					for t := 0; t < serveBurst; t++ {
+						tid := rng.Intn(len(rows))
+						for j := range indices {
+							indices[j] = uint32(rng.Intn(rows[tid]))
+						}
+						t0 := time.Now()
+						if _, err := clients[w].Lookup(ctx, uint32(tid), indices); err != nil {
+							if errs[w] == nil {
+								errs[w] = err
+							}
+							return
+						}
+						if len(lat[w]) < 1<<14 {
+							lat[w] = append(lat[w], time.Since(t0))
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		close(stop)
+		writerWG.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		var all []time.Duration
+		for _, l := range lat {
+			all = append(all, l...)
+		}
+		reportPercentiles(b, all)
+		if underCommit {
+			b.ReportMetric(float64(commits.Load())/float64(b.N), "commits/op")
+		}
+	}
+}
+
+// ServeCases enumerates the serving-plane benchmarks: the static-read
+// floor at one and eight clients, and the same eight-client load with
+// concurrent commit traffic swapping table versions underneath.
+func ServeCases() []Case {
+	var cases []Case
+	for _, conc := range []int{1, 8} {
+		cases = append(cases, Case{
+			Name: fmt.Sprintf("Lookup_static_c%d", conc),
+			Run:  serveLookups(false, conc),
+		})
+	}
+	cases = append(cases, Case{
+		Name: "Lookup_under_commit_c8",
+		Run:  serveLookups(true, 8),
+	})
+	return cases
+}

@@ -1,0 +1,15 @@
+package bench
+
+import "testing"
+
+// BenchmarkServe runs the serving-plane lookup benchmarks; CI runs it
+// with -benchtime=1x in the test job so the bodies can't rot, and
+// cmd/benchci re-runs them for the BENCH_serve.json artifact. The
+// acceptance signal is the p99_ns extra of Lookup_under_commit_c8
+// staying in the same regime as the static floor: version swaps are an
+// atomic pointer flip, so commit traffic must not stall readers.
+func BenchmarkServe(b *testing.B) {
+	for _, c := range ServeCases() {
+		b.Run(c.Name, c.Run)
+	}
+}

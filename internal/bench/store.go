@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -109,12 +110,29 @@ func reportPercentiles(b *testing.B, samples []time.Duration) {
 		return
 	}
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	pct := func(p float64) float64 {
-		i := int(p * float64(len(samples)-1))
-		return float64(samples[i])
+	b.ReportMetric(float64(percentile(samples, 0.50)), "p50_ns")
+	b.ReportMetric(float64(percentile(samples, 0.99)), "p99_ns")
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted
+// samples: the smallest sample such that at least p of the set is at or
+// below it (rank ceil(p*N), 1-based, clamped). Unlike the previous
+// int(p*(N-1)) truncation this never under-reports the tail at small N
+// — a benchtime=1x run with N<100 used to report p99 as a sample below
+// the max even though rank ceil(0.99*N) == N there — and N == 0 is the
+// caller's early return, not an index panic.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
 	}
-	b.ReportMetric(pct(0.50), "p50_ns")
-	b.ReportMetric(pct(0.99), "p99_ns")
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 // storeSweep is one cell of the payload × store-count × concurrency

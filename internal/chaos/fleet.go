@@ -16,6 +16,7 @@ import (
 	"repro/internal/ctrl/shardhost"
 	"repro/internal/objstore"
 	"repro/internal/quant"
+	"repro/internal/serve"
 	"repro/internal/wire"
 )
 
@@ -33,6 +34,14 @@ type FleetConfig struct {
 	// Shards is the shard-agent count; Stores the store-process count.
 	// Both default to 1.
 	Shards, Stores int
+	// Replicas is the serving-replica count (default 0: no read plane).
+	// A fleet with replicas owns one ctrl.Announcer that every elected
+	// controller announces through — the "stable VIP" a deployment would
+	// front the announce plane with — so subscriptions survive failover.
+	// Replicas are hosted in-process even under Procs: their fault
+	// surface is the same set of real TCP proxies either way, and the
+	// checker needs direct access to their served state.
+	Replicas int
 	// Seed drives the deterministic replicas (default 7); Batch the
 	// training batch size (default 16).
 	Seed  int64
@@ -154,11 +163,24 @@ type shardNode struct {
 	alive bool
 }
 
+// replicaNode is one serving replica plus every link it owns: its
+// announce-plane shim (replica -> announcer) and its own per-store
+// data-plane shims (replica -> store i). Partitioning a replica means
+// partitioning all of them — the replica drops off both planes while
+// the write path keeps committing.
+type replicaNode struct {
+	rep        *serve.Replica
+	store      objstore.Store // routed through storeShims; replica reads only
+	annShim    *Proxy
+	storeShims []*Proxy
+}
+
 // Fleet is a running chaos topology. The link layout:
 //
 //	shard agents  --[StoreShim(i)]-->  store i      (data plane, shared per store)
 //	controller    --[CtrlStoreShim(i)]--> store i   (leader's own store links)
 //	controller    --[AgentShim(s)]-->  shard s      (control plane)
+//	replica r     --[replica shims]--> announcer + every store   (read plane)
 //
 // The shard-side shim addresses are the fleet's canonical routing names:
 // every RoutedStore in the system (agents' own, the controller's, the
@@ -180,6 +202,9 @@ type Fleet struct {
 
 	ctrlStore objstore.Store // routed through ctrlShims; controller + lease register
 	observer  objstore.Store // routed direct; the checker's truth
+
+	announcer *ctrl.Announcer // fleet-owned; survives controller failover
+	replicas  []*replicaNode
 
 	ctl    *ctrl.Controller
 	lease  *ctrl.Lease
@@ -259,7 +284,74 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		}
 		f.agentShims = append(f.agentShims, shim)
 	}
+
+	// Read plane: one deployment-owned announcer, then per-replica shims
+	// over both its links and the replica itself.
+	if c.Replicas > 0 {
+		if f.announcer, err = ctrl.NewAnnouncer("127.0.0.1:0", c.JobID, c.Logf); err != nil {
+			return fail(fmt.Errorf("chaos: announcer: %w", err))
+		}
+		for r := 0; r < c.Replicas; r++ {
+			if err := f.startReplica(r); err != nil {
+				return fail(err)
+			}
+		}
+	}
 	return f, nil
+}
+
+// startReplica stands replica r up behind its own announce-plane and
+// data-plane shims. The replica's routed store uses the fleet's
+// canonical backend names (so key placement agrees with every writer)
+// but dials over the replica's private shims — partitioning replica r
+// touches nobody else's links.
+func (f *Fleet) startReplica(r int) error {
+	rn := &replicaNode{}
+	annShim, err := NewProxy(fmt.Sprintf("replica:%d:announce", r), "127.0.0.1:0", f.announcer.Addr(), f.logf)
+	if err != nil {
+		return err
+	}
+	rn.annShim = annShim
+	for i, sn := range f.stores {
+		shim, err := NewProxy(fmt.Sprintf("replica:%d:store:%d", r, i), "127.0.0.1:0", sn.addr, f.logf)
+		if err != nil {
+			rn.close()
+			return err
+		}
+		rn.storeShims = append(rn.storeShims, shim)
+	}
+	if rn.store, err = f.routedVia(func(i int) string { return rn.storeShims[i].Addr() }); err != nil {
+		rn.close()
+		return err
+	}
+	rn.rep, err = serve.Start(serve.Config{
+		JobID:        f.cfg.JobID,
+		Store:        rn.store,
+		AnnounceAddr: rn.annShim.Addr(),
+		ResyncEvery:  250 * time.Millisecond,
+		Logf:         f.logf,
+	})
+	if err != nil {
+		rn.close()
+		return fmt.Errorf("chaos: replica %d: %w", r, err)
+	}
+	f.replicas = append(f.replicas, rn)
+	return nil
+}
+
+func (rn *replicaNode) close() {
+	if rn.rep != nil {
+		rn.rep.Close()
+	}
+	if rn.store != nil {
+		rn.store.Close()
+	}
+	if rn.annShim != nil {
+		rn.annShim.Close()
+	}
+	for _, p := range rn.storeShims {
+		p.Close()
+	}
 }
 
 // routedVia builds a RoutedStore over the canonical backend names, each
@@ -413,6 +505,9 @@ func (f *Fleet) RestartStore(i int) error {
 	}
 	f.storeShims[i].DropConns()
 	f.ctrlShims[i].DropConns()
+	for _, rn := range f.replicas {
+		rn.storeShims[i].DropConns()
+	}
 	f.logf("chaos: restarted store %d at %s from %s", i, sn.addr, sn.dir)
 	return nil
 }
@@ -510,6 +605,28 @@ func (f *Fleet) AnchorStore() int {
 func (f *Fleet) Stores() int { return len(f.stores) }
 func (f *Fleet) Shards() int { return len(f.shards) }
 
+// Replicas reports the serving-replica count.
+func (f *Fleet) Replicas() int { return len(f.replicas) }
+
+// ReplicaShims returns every link replica r owns — its announce-plane
+// shim plus its per-store data-plane shims. Faulting all of them is
+// "partition the replica".
+func (f *Fleet) ReplicaShims(r int) []*Proxy {
+	rn := f.replicas[r]
+	out := []*Proxy{rn.annShim}
+	out = append(out, rn.storeShims...)
+	return out
+}
+
+// ReplicaServed reports replica r's currently-served checkpoint
+// (-1, 0 before the first sync completes).
+func (f *Fleet) ReplicaServed(r int) (int, uint64) { return f.replicas[r].rep.Served() }
+
+// ReplicaAddr returns replica r's lookup address. The checker dials it
+// directly — the lookup link itself is never degraded, only the
+// replica's subscription and store links are.
+func (f *Fleet) ReplicaAddr(r int) string { return f.replicas[r].rep.Addr() }
+
 // ShardAlive reports whether shard s is currently running.
 func (f *Fleet) ShardAlive(s int) bool { return f.shards[s].alive }
 
@@ -577,6 +694,7 @@ func (f *Fleet) newController(lease *ctrl.Lease, holder string) error {
 		Store:        f.ctrlStore,
 		Agents:       agents,
 		Lease:        lease,
+		Announcer:    f.announcer,
 		DialTimeout:  5 * time.Second,
 		Logf:         f.logf,
 		AfterPrepare: func() { f.fire(&f.afterPrepare) },
@@ -695,6 +813,12 @@ func (f *Fleet) AgentStatus(ctx context.Context, s int) (*ctrl.StatusReply, erro
 func (f *Fleet) Close() {
 	if f.ctl != nil {
 		f.ctl.Close()
+	}
+	for _, rn := range f.replicas {
+		rn.close()
+	}
+	if f.announcer != nil {
+		f.announcer.Close()
 	}
 	for _, sn := range f.shards {
 		if sn.proc != nil {

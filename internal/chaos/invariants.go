@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/ctrl/shardhost"
 	"repro/internal/data"
 	"repro/internal/model"
+	"repro/internal/serve"
 	"repro/internal/trainer"
 )
 
@@ -25,7 +27,7 @@ type Committed struct {
 // surface as plain errors instead.
 type Violation struct {
 	// Invariant is one of "complete-composites", "restore-latest",
-	// "id-convergence".
+	// "id-convergence", "serve-consistency".
 	Invariant string `json:"invariant"`
 	Detail    string `json:"detail"`
 }
@@ -42,16 +44,28 @@ func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
 //     checkpoint and reproduces the reference replica bit-identically.
 //  3. id-convergence — committed composite IDs are exactly the expected
 //     gapless sequence, and every live agent agrees on the next ID.
+//  4. serve-consistency — every lookup a serving replica answers comes
+//     from exactly one COMMITTED checkpoint, bit-identical to the
+//     reference state at that checkpoint's cut step. Staleness is
+//     legal (a partitioned replica keeps serving its last version);
+//     a torn read — rows mixing two checkpoints — or a response naming
+//     an uncommitted checkpoint is not.
 //
 // The checker maintains its own reference replica, trained with the
 // same deterministic seed as the fleet's shards and advanced to each
-// checkpoint's cut step on demand.
+// checkpoint's cut step on demand. For serve-consistency it snapshots
+// the reference tables at every committed cut step, since stale-but
+// -legal responses need the OLD state to compare against.
 type Checker struct {
 	f *Fleet
 
 	cluster *trainer.Cluster
 	refMod  *model.DLRM
 	gen     *data.Generator
+
+	// serveSnaps holds the reference sparse-table weights at each
+	// committed checkpoint: ckptID -> tableID -> flat row-major weights.
+	serveSnaps map[int]map[int][]float32
 }
 
 // NewChecker builds a checker (and its reference replica) for f.
@@ -69,7 +83,8 @@ func NewChecker(f *Fleet) (*Checker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chaos: checker generator: %w", err)
 	}
-	return &Checker{f: f, cluster: cluster, refMod: m, gen: gen}, nil
+	return &Checker{f: f, cluster: cluster, refMod: m, gen: gen,
+		serveSnaps: make(map[int]map[int][]float32)}, nil
 }
 
 // referenceAt advances the reference replica to exactly step. Scenario
@@ -91,10 +106,22 @@ func (c *Checker) freshModel() (*model.DLRM, error) {
 	return model.New(mcfg, c.f.cfg.Shards)
 }
 
-// Check runs all three invariants against the expected committed
+// Check runs all four invariants against the expected committed
 // sequence and returns every violation found.
 func (c *Checker) Check(ctx context.Context, committed []Committed) ([]Violation, error) {
 	var out []Violation
+
+	// Serve-consistency runs unconditionally: replicas are in-process
+	// and probed over undegraded links, and their in-memory tables stay
+	// answerable even while a store is down or a link is partitioned.
+	if err := c.snapCommitted(committed); err != nil {
+		return nil, err
+	}
+	sv, err := c.checkServing(ctx, committed)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, sv...)
 
 	// Store-side invariants read ground truth through the observer,
 	// which needs every store up: a killed (disk-backed) store makes
@@ -102,7 +129,11 @@ func (c *Checker) Check(ctx context.Context, committed []Committed) ([]Violation
 	// recovered on-disk state — at the step after restart-store, which
 	// is where the durability claim is actually decided.
 	if !c.f.AllStoresAlive() {
-		return c.checkAgentsOnly(ctx, committed)
+		av, err := c.checkAgentsOnly(ctx, committed)
+		if err != nil {
+			return nil, err
+		}
+		return append(out, av...), nil
 	}
 
 	rest, err := ckpt.NewRestorer(c.f.cfg.JobID, c.f.observer)
@@ -204,6 +235,102 @@ func (c *Checker) Check(ctx context.Context, committed []Committed) ([]Violation
 			Invariant: "restore-latest",
 			Detail:    fmt.Sprintf("restored state diverges from reference at step %d: %s", want.Step, diff),
 		})
+	}
+	return out, nil
+}
+
+// snapCommitted records the reference sparse tables at every committed
+// cut step that isn't snapshotted yet. Committed entries arrive in
+// ascending step order, so the forward-only reference replica can visit
+// each cut exactly once.
+func (c *Checker) snapCommitted(committed []Committed) error {
+	for _, cm := range committed {
+		if _, ok := c.serveSnaps[cm.ID]; ok {
+			continue
+		}
+		ref, err := c.referenceAt(cm.Step)
+		if err != nil {
+			return err
+		}
+		snap := make(map[int][]float32, len(ref.Sparse.Tables))
+		for _, tab := range ref.Sparse.Tables {
+			snap[tab.ID] = append([]float32(nil), tab.Weights.Data...)
+		}
+		c.serveSnaps[cm.ID] = snap
+	}
+	return nil
+}
+
+// checkServing probes every replica's lookup plane: each response must
+// come from a committed checkpoint and bit-match the reference snapshot
+// of exactly that checkpoint. Not-ready replicas and stale-but-committed
+// responses pass — convergence is asserted by scripted serve-wait steps,
+// not here.
+func (c *Checker) checkServing(ctx context.Context, committed []Committed) ([]Violation, error) {
+	var out []Violation
+	for r := 0; r < c.f.Replicas(); r++ {
+		cl := serve.NewClient(c.f.ReplicaAddr(r), serve.ClientConfig{})
+		vio, err := c.probeReplica(ctx, cl, r)
+		cl.Close()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vio...)
+	}
+	return out, nil
+}
+
+func (c *Checker) probeReplica(ctx context.Context, cl *serve.Client, r int) ([]Violation, error) {
+	var out []Violation
+	for _, tab := range c.refMod.Sparse.Tables {
+		// Strided sample across the table, plus the last row.
+		stride := tab.Rows / 48
+		if stride == 0 {
+			stride = 1
+		}
+		var indices []uint32
+		for i := 0; i < tab.Rows; i += stride {
+			indices = append(indices, uint32(i))
+		}
+		indices = append(indices, uint32(tab.Rows-1))
+
+		resp, err := cl.Lookup(ctx, uint32(tab.ID), indices)
+		if errors.Is(err, serve.ErrNotReady) {
+			return nil, nil // no checkpoint synced yet; legal staleness
+		}
+		if err != nil {
+			return nil, fmt.Errorf("chaos: probe replica %d table %d: %w", r, tab.ID, err)
+		}
+		snap, ok := c.serveSnaps[resp.CkptID]
+		if !ok {
+			out = append(out, Violation{
+				Invariant: "serve-consistency",
+				Detail:    fmt.Sprintf("replica %d serves checkpoint %d, which the scenario never committed", r, resp.CkptID),
+			})
+			return out, nil
+		}
+		ref := snap[tab.ID]
+		dim := int(resp.Dim)
+		if dim*tab.Rows != len(ref) || len(resp.Vectors) != len(indices)*dim {
+			out = append(out, Violation{
+				Invariant: "serve-consistency",
+				Detail: fmt.Sprintf("replica %d table %d shape mismatch: dim %d, %d floats for %d indices",
+					r, tab.ID, dim, len(resp.Vectors), len(indices)),
+			})
+			return out, nil
+		}
+		for i, idx := range indices {
+			for d := 0; d < dim; d++ {
+				if got, want := resp.Vectors[i*dim+d], ref[int(idx)*dim+d]; got != want {
+					out = append(out, Violation{
+						Invariant: "serve-consistency",
+						Detail: fmt.Sprintf("replica %d checkpoint %d table %d row %d[%d] differs from reference — torn read",
+							r, resp.CkptID, tab.ID, idx, d),
+					})
+					return out, nil
+				}
+			}
+		}
 	}
 	return out, nil
 }

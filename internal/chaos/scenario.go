@@ -27,6 +27,7 @@ type Scenario struct {
 type FleetSpec struct {
 	Shards      int    `json:"shards"`
 	Stores      int    `json:"stores"`
+	Replicas    int    `json:"replicas,omitempty"`
 	Seed        int64  `json:"seed,omitempty"`
 	Batch       int    `json:"batch,omitempty"`
 	TableRows   []int  `json:"table_rows,omitempty"`
@@ -87,6 +88,10 @@ type FaultSpec struct {
 //	failover    — abandon the current leader and promote Holder, who
 //	              waits out the lease TTL like a real standby.
 //	sweep       — run ckpt.SweepOrphans and fail on error.
+//	serve-wait  — block until every serving replica has converged on the
+//	              newest committed checkpoint (bounded by the step
+//	              timeout; a replica that never converges is a harness
+//	              failure).
 //	sleep       — wait Ms milliseconds.
 //	inject-partial-composite — write a composite manifest whose shard
 //	              manifests don't exist, simulating a controller with the
@@ -174,7 +179,7 @@ type Result struct {
 func (r *Result) Passed() bool { return r.Err == "" && len(r.Violations) == 0 }
 
 // Run executes one scenario: builds the fleet, walks the script, and
-// checks all three invariants after every step. The returned error is
+// checks all four invariants after every step. The returned error is
 // reserved for harness failures (a step contract broken, the observer
 // store erroring); invariant verdicts are in Result.Violations.
 func Run(ctx context.Context, sc *Scenario, rcfg RunnerConfig) (*Result, error) {
@@ -191,6 +196,7 @@ func Run(ctx context.Context, sc *Scenario, rcfg RunnerConfig) (*Result, error) 
 		JobID:     "chaos-" + sc.Name,
 		Shards:    sc.Fleet.Shards,
 		Stores:    sc.Fleet.Stores,
+		Replicas:  sc.Fleet.Replicas,
 		Seed:      sc.Fleet.Seed,
 		Batch:     sc.Fleet.Batch,
 		TableRows: sc.Fleet.TableRows,
@@ -324,6 +330,8 @@ func (r *runner) exec(ctx context.Context, s *Step, sr *StepResult) error {
 		}
 		sr.Detail = fmt.Sprintf("swept %d orphans of %d scanned", len(rep.Orphans), rep.Scanned)
 		return nil
+	case "serve-wait":
+		return r.serveWait(ctx, sr)
 	case "sleep":
 		time.Sleep(time.Duration(s.Ms) * time.Millisecond)
 		sr.Detail = fmt.Sprintf("%dms", s.Ms)
@@ -428,9 +436,43 @@ func (r *runner) buildHook(s *Step) (func(), error) {
 	}, nil
 }
 
+// serveWait blocks until every replica serves the newest committed
+// checkpoint. The replicas publish convergence through ReplicaServed;
+// staleness is legal between steps, but a serve-wait step is the
+// scenario asserting "the read plane has caught up NOW".
+func (r *runner) serveWait(ctx context.Context, sr *StepResult) error {
+	if r.f.Replicas() == 0 {
+		return fmt.Errorf("serve-wait on a fleet with no replicas")
+	}
+	if len(r.committed) == 0 {
+		return fmt.Errorf("serve-wait before any committed checkpoint")
+	}
+	want := r.committed[len(r.committed)-1].ID
+	for {
+		behind := -1
+		for i := 0; i < r.f.Replicas(); i++ {
+			if id, _ := r.f.ReplicaServed(i); id < want {
+				behind = i
+				break
+			}
+		}
+		if behind < 0 {
+			sr.Detail = fmt.Sprintf("%d replicas serving composite %d", r.f.Replicas(), want)
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			id, _ := r.f.ReplicaServed(behind)
+			return fmt.Errorf("replica %d stuck serving composite %d, want %d: %w", behind, id, want, ctx.Err())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
 // targets resolves a comma-separated target list to shims. Syntax:
 // store:<i>, ctrlstore:<i>, agent:<i> (with "anchor" as a store index),
-// and leader = every link the leader depends on (all agent shims + all
+// replica:<i> = every link replica i owns (announce + store shims), and
+// leader = every link the leader depends on (all agent shims + all
 // controller-side store shims).
 func (r *runner) targets(spec string) ([]*Proxy, error) {
 	if spec == "" {
@@ -438,6 +480,9 @@ func (r *runner) targets(spec string) ([]*Proxy, error) {
 		all = append(all, r.f.storeShims...)
 		all = append(all, r.f.ctrlShims...)
 		all = append(all, r.f.agentShims...)
+		for i := 0; i < r.f.Replicas(); i++ {
+			all = append(all, r.f.ReplicaShims(i)...)
+		}
 		return all, nil
 	}
 	var out []*Proxy
@@ -447,6 +492,12 @@ func (r *runner) targets(spec string) ([]*Proxy, error) {
 		case part == "leader":
 			out = append(out, r.f.agentShims...)
 			out = append(out, r.f.ctrlShims...)
+		case strings.HasPrefix(part, "replica:"):
+			i, err := targetIndex(part, "replica", r.f.Replicas())
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r.f.ReplicaShims(i)...)
 		case strings.HasPrefix(part, "store:"):
 			i, err := r.storeIndex(part, "store")
 			if err != nil {

@@ -1,9 +1,11 @@
 package chaos
 
 // The builtin campaign matrix. Every campaign asserts, after every
-// step, the three invariants in Checker: no restorable partial
-// composite, RestoreLatest bit-identical to the reference replica, and
-// gapless checkpoint-ID convergence across rejoin/failover.
+// step, the four invariants in Checker: no restorable partial
+// composite, RestoreLatest bit-identical to the reference replica,
+// gapless checkpoint-ID convergence across rejoin/failover, and — when
+// the fleet hosts serving replicas — serve consistency (every lookup
+// answered from exactly one committed checkpoint, bit-identically).
 //
 // The matrix is expressed as data — the same Scenario values run
 // in-process under `go test -race` (the small matrix, per PR) and over
@@ -14,6 +16,11 @@ package chaos
 // three stores, a 500ms lease so failover scenarios settle quickly, and
 // a 4s op deadline so stalled-store scenarios unstick within a step.
 var fleet3x3 = FleetSpec{Shards: 3, Stores: 3, LeaseTTLMs: 500, OpTimeoutMs: 4000}
+
+// fleetServe3x3 adds one serving replica to the standard topology —
+// the shape for read-plane campaigns, with the serve-consistency
+// invariant checked after every step.
+var fleetServe3x3 = FleetSpec{Shards: 3, Stores: 3, Replicas: 1, LeaseTTLMs: 500, OpTimeoutMs: 4000}
 
 // fleetDisk3x3 is the same topology pinned to the disk store backend —
 // the shape for campaigns that kill stores (a killed MemStore is data
@@ -200,6 +207,25 @@ func BuiltinScenarios() []*Scenario {
 			},
 		},
 		{
+			Name: "partition-replica-across-commits",
+			Description: "a serving replica is partitioned off both its announce stream and every store " +
+				"while two composites commit; it must keep serving its last checkpoint bit-identically " +
+				"(stale, never torn) and converge bit-exactly once healed",
+			Fleet: fleetServe3x3,
+			Steps: []Step{
+				{Op: "lead", Holder: "leader-0"},
+				{Op: "checkpoint", Step: 4},
+				{Op: "serve-wait"},
+				{Op: "fault", Target: "replica:0", Fault: &FaultSpec{Partition: true}},
+				{Op: "checkpoint", Step: 8},
+				{Op: "checkpoint", Step: 12},
+				{Op: "heal", Target: "replica:0"},
+				{Op: "serve-wait"},
+				{Op: "checkpoint", Step: 16},
+				{Op: "serve-wait"},
+			},
+		},
+		{
 			Name:        "flap-agent-partition",
 			Description: "agents drop out and heal repeatedly across consecutive commits",
 			Fleet:       fleet3x3,
@@ -221,14 +247,15 @@ func BuiltinScenarios() []*Scenario {
 }
 
 // smallMatrix names the per-PR subset: one throttle campaign, one crash
-// campaign, one partition+failover campaign, and the disk-backed
-// store-kill campaign — each exercising a different commit window, all
-// fast enough for `-race` in CI.
+// campaign, one partition+failover campaign, the disk-backed store-kill
+// campaign, and the read-plane partition campaign — each exercising a
+// different commit window or plane, all fast enough for `-race` in CI.
 var smallMatrix = []string{
 	"slow-store-throttle",
 	"kill-during-publish",
 	"partition-leader-mid-commit",
 	"kill9-objstored-mid-commit",
+	"partition-replica-across-commits",
 }
 
 // SmallScenarios returns the per-PR subset of the builtin matrix.

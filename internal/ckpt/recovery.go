@@ -329,16 +329,51 @@ type chunkWork struct {
 	key     string
 }
 
+// TableSet resolves table IDs to live embedding tables during a
+// manifest apply. *embedding.ShardedModel satisfies it (via m.Sparse);
+// serving replicas provide their own resolver over the table versions
+// they maintain.
+type TableSet interface {
+	// Table returns the table with the given ID, or nil if absent.
+	Table(id int) *embedding.Table
+}
+
 // applyOne applies a single manifest's chunks and dense state to m.
-// Chunks are fetched, decoded and applied across r.decoders workers:
-// every chunk of one manifest covers a disjoint row set, so concurrent
-// application never races. Chain-link ordering is the caller's loop,
-// which applies manifests sequentially.
+// Chain-link ordering is the caller's loop, which applies manifests
+// sequentially.
 func (r *Restorer) applyOne(ctx context.Context, man *wire.Manifest, m *model.DLRM, res *RestoreResult) error {
+	if err := r.ApplyManifest(ctx, man, m.Sparse, res); err != nil {
+		return err
+	}
+	if man.DenseKey == "" {
+		// Shard manifests carry no dense state; the composite does.
+		return nil
+	}
+	dense, err := r.store.Get(ctx, man.DenseKey)
+	if err != nil {
+		return fmt.Errorf("ckpt: dense state: %w", err)
+	}
+	res.BytesRead += int64(len(dense))
+	if err := m.RestoreDenseState(dense); err != nil {
+		return fmt.Errorf("ckpt: dense state: %w", err)
+	}
+	return nil
+}
+
+// ApplyManifest fetches, decodes and applies one manifest's chunk
+// payload onto tabs, de-quantizing rows in place. Chunks are fetched,
+// decoded and applied across r.decoders workers: every chunk of one
+// manifest covers a disjoint row set, so concurrent application never
+// races. Dense state is NOT applied — it lives on the model, not the
+// tables; full-restore callers go through Restore, while serving
+// replicas (which hold bare tables) call this directly to land each
+// delta. Chunk keys in manifests are absolute, so a Restorer of any
+// scope can apply any shard's manifest.
+func (r *Restorer) ApplyManifest(ctx context.Context, man *wire.Manifest, tabs TableSet, res *RestoreResult) error {
 	var work []chunkWork
 	for i := range man.Tables {
 		tm := &man.Tables[i]
-		tab := m.Sparse.Table(tm.TableID)
+		tab := tabs.Table(tm.TableID)
 		if tab == nil {
 			return fmt.Errorf("ckpt: model has no table %d", tm.TableID)
 		}
@@ -396,19 +431,6 @@ func (r *Restorer) applyOne(ctx context.Context, man *wire.Manifest, m *model.DL
 		}
 		res.RowsApplied += int(rowsApplied.Load())
 		res.BytesRead += bytesRead.Load()
-	}
-
-	if man.DenseKey == "" {
-		// Shard manifests carry no dense state; the composite does.
-		return nil
-	}
-	dense, err := r.store.Get(ctx, man.DenseKey)
-	if err != nil {
-		return fmt.Errorf("ckpt: dense state: %w", err)
-	}
-	res.BytesRead += int64(len(dense))
-	if err := m.RestoreDenseState(dense); err != nil {
-		return fmt.Errorf("ckpt: dense state: %w", err)
 	}
 	return nil
 }

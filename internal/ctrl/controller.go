@@ -39,6 +39,19 @@ type ControllerConfig struct {
 	KeepLast int
 	// DialTimeout bounds agent connection establishment; zero means 5s.
 	DialTimeout time.Duration
+	// OpTimeout bounds the controller's own store and discovery
+	// operations — agent Status during discovery and the ListManifests
+	// that seeds GC — mirroring the per-op budget agents already have
+	// (AgentConfig.OpTimeout). Zero means 30s. A hung store therefore
+	// fails controller startup at this budget instead of a hardcoded
+	// deadline.
+	OpTimeout time.Duration
+	// Announcer, when set, receives every committed composite via
+	// Announce immediately after the commit point, fanning it out to
+	// subscribed serving replicas. The announcer is owned by the
+	// deployment (it survives controller failover); the controller only
+	// seeds it with its epoch and announces into it.
+	Announcer *Announcer
 	// Logf receives diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 
@@ -104,7 +117,11 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 		}
 		return nil, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	opTimeout := cfg.OpTimeout
+	if opTimeout <= 0 {
+		opTimeout = 30 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
 	defer cancel()
 	var maxEpoch uint64
 	for _, addr := range cfg.Agents {
@@ -178,6 +195,12 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 		for _, m := range existing {
 			c.manifests[m.ID] = m
 		}
+	}
+	if cfg.Announcer != nil {
+		// Seed the announce endpoint so replicas subscribing between
+		// checkpoints learn the current epoch and how far the chain has
+		// advanced.
+		cfg.Announcer.SetPosition(c.epoch, c.nextID)
 	}
 	logf("ctrl controller: job %s epoch %d, %d shards, next checkpoint %d",
 		cfg.JobID, c.epoch, n, c.nextID)
@@ -282,6 +305,13 @@ func (c *Controller) Checkpoint(ctx context.Context, step uint64) (*wire.Manifes
 	}
 	if c.cfg.AfterCommit != nil {
 		c.cfg.AfterCommit()
+	}
+	if c.cfg.Announcer != nil {
+		// The composite manifest is durable: tell the read plane before
+		// finalize, so replicas start pulling the delta as early as
+		// possible. The announcement carries this controller's epoch;
+		// replicas fence on it.
+		c.cfg.Announcer.Announce(c.epoch, man)
 	}
 
 	// Post-commit: the checkpoint is valid regardless of what happens

@@ -67,6 +67,41 @@ type CommitArgs struct {
 	CkptID int    `json:"ckpt_id"`
 }
 
+// SubscribeArgs opens a checkpoint-announcement stream on a
+// controller's announce endpoint (see Announcer).
+type SubscribeArgs struct {
+	// JobID guards against misrouted subscriptions; must match the
+	// announcer's.
+	JobID string `json:"job_id"`
+}
+
+// SubscribeReply acknowledges a subscription and tells the reader where
+// the job currently stands, so it can decide how far behind it is
+// before the first announcement arrives.
+type SubscribeReply struct {
+	JobID string `json:"job_id"`
+	// Epoch is the announcing controller's job epoch at subscribe time
+	// (zero if the announcer has not yet seen a controller).
+	Epoch uint64 `json:"epoch"`
+	// NextID is the ID the next composite checkpoint will get; NextID-1
+	// is the newest committed composite, or -1 when none is known.
+	NextID int `json:"next_id"`
+}
+
+// AnnounceEvent is pushed to every subscriber after a composite
+// checkpoint commits. It is a hint, not a commit record: readers must
+// fence on the frame epoch (a deposed controller may still announce)
+// and treat the committed manifests in the object store as the source
+// of truth.
+type AnnounceEvent struct {
+	// CkptID is the committed composite's checkpoint ID.
+	CkptID int `json:"ckpt_id"`
+	// Step is the consistent-cut training step of the checkpoint.
+	Step uint64 `json:"step"`
+	// Kind is the checkpoint kind ("full" or "incremental").
+	Kind string `json:"kind"`
+}
+
 // StatusReply describes an agent for discovery and monitoring. Status
 // is read-only: it never bumps or fences on epochs.
 type StatusReply struct {

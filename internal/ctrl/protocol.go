@@ -24,6 +24,14 @@ const (
 	opFinalize = 3
 	opAbort    = 4
 	opStatus   = 5
+	// opSubscribe/opAnnounce are the read plane's verbs: a serving
+	// replica sends one opSubscribe to the controller's announce
+	// endpoint, and from then on the endpoint pushes an opAnnounce
+	// request frame (epoch in the header, AnnounceEvent body) for each
+	// composite that commits. Announcements are hints — the committed
+	// manifests in the object store remain the source of truth.
+	opSubscribe = 6
+	opAnnounce  = 7
 
 	statusOK     = 0
 	statusFenced = 1

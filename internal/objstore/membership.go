@@ -32,16 +32,40 @@ func EncodeMembers(addrs []string) []byte {
 	return []byte(strings.Join(sorted, "\n"))
 }
 
-// DecodeMembers parses a membership record.
-func DecodeMembers(blob []byte) ([]string, error) {
-	if len(blob) == 0 {
-		return nil, fmt.Errorf("objstore: empty membership record")
-	}
-	addrs := strings.Split(string(blob), "\n")
+// ErrInvalidMembers marks a membership record or store spec that names
+// the fleet incorrectly: blank or duplicate addresses. Rendezvous
+// hashing scores backends by name, so a duplicated address would
+// silently skew key placement (two identically-named backends split
+// every fleet's view of the keyspace differently depending on which
+// connection wins) — it must be rejected loudly at decode/connect time.
+var ErrInvalidMembers = errors.New("objstore: invalid membership")
+
+// validateMembers rejects blank and duplicate addresses, wrapping
+// ErrInvalidMembers.
+func validateMembers(addrs []string, what string) error {
+	seen := make(map[string]bool, len(addrs))
 	for _, a := range addrs {
 		if strings.TrimSpace(a) == "" {
-			return nil, fmt.Errorf("objstore: blank address in membership record")
+			return fmt.Errorf("%w: blank address in %s", ErrInvalidMembers, what)
 		}
+		if seen[a] {
+			return fmt.Errorf("%w: duplicate address %q in %s", ErrInvalidMembers, a, what)
+		}
+		seen[a] = true
+	}
+	return nil
+}
+
+// DecodeMembers parses and validates a membership record. A record with
+// blank or duplicate addresses returns an error wrapping
+// ErrInvalidMembers.
+func DecodeMembers(blob []byte) ([]string, error) {
+	if len(blob) == 0 {
+		return nil, fmt.Errorf("%w: empty membership record", ErrInvalidMembers)
+	}
+	addrs := strings.Split(string(blob), "\n")
+	if err := validateMembers(addrs, "membership record"); err != nil {
+		return nil, err
 	}
 	return addrs, nil
 }
@@ -53,6 +77,9 @@ func DecodeMembers(blob []byte) ([]string, error) {
 func PublishMembership(ctx context.Context, addrs []string, cfg ClientConfig) error {
 	if len(addrs) == 0 {
 		return fmt.Errorf("objstore: no member addresses")
+	}
+	if err := validateMembers(addrs, "member list"); err != nil {
+		return err
 	}
 	record := EncodeMembers(addrs)
 	for _, addr := range addrs {
@@ -91,6 +118,9 @@ func Connect(spec string, cfg ClientConfig) (Store, error) {
 	}
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("objstore: empty store spec")
+	}
+	if err := validateMembers(addrs, "store spec"); err != nil {
+		return nil, err
 	}
 	if len(addrs) == 1 {
 		seed, err := Dial(addrs[0], cfg)

@@ -1,0 +1,62 @@
+package objstore
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestDecodeMembersRejectsDuplicatesAndBlanks(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		blob string
+	}{
+		{"duplicate", "a:1\na:1"},
+		{"duplicate-nonadjacent", "a:1\nb:2\na:1"},
+		{"blank-line", "a:1\n\nb:2"},
+		{"whitespace-line", "a:1\n  \nb:2"},
+		{"empty", ""},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := DecodeMembers([]byte(c.blob)); !errors.Is(err, ErrInvalidMembers) {
+				t.Fatalf("DecodeMembers(%q) = %v, want ErrInvalidMembers", c.blob, err)
+			}
+		})
+	}
+	// Valid record still decodes.
+	got, err := DecodeMembers(EncodeMembers([]string{"b:2", "a:1"}))
+	if err != nil {
+		t.Fatalf("DecodeMembers(valid): %v", err)
+	}
+	if len(got) != 2 || got[0] != "a:1" || got[1] != "b:2" {
+		t.Fatalf("DecodeMembers = %v, want [a:1 b:2]", got)
+	}
+}
+
+func TestConnectRejectsDuplicateSpec(t *testing.T) {
+	// A duplicated address in a static -stores spec would register two
+	// same-named backends and skew rendezvous hashing; Connect must
+	// refuse before dialing anything.
+	srv, err := NewServer("127.0.0.1:0", NewMemStore(MemConfig{}), ServerConfig{})
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	defer srv.Close()
+	addr := srv.Addr()
+	if _, err := Connect(addr+","+addr, ClientConfig{}); !errors.Is(err, ErrInvalidMembers) {
+		t.Fatalf("Connect(dup spec) = %v, want ErrInvalidMembers", err)
+	}
+}
+
+func TestPublishMembershipRejectsDuplicates(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", NewMemStore(MemConfig{}), ServerConfig{})
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	defer srv.Close()
+	addr := srv.Addr()
+	err = PublishMembership(context.Background(), []string{addr, addr}, ClientConfig{})
+	if !errors.Is(err, ErrInvalidMembers) {
+		t.Fatalf("PublishMembership(dup) = %v, want ErrInvalidMembers", err)
+	}
+}

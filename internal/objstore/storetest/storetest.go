@@ -79,6 +79,48 @@ func RunWith(t *testing.T, factory Factory, opts Options) {
 		}
 	})
 
+	t.Run("MembershipRecord", func(t *testing.T) {
+		// Every backend must round-trip the fleet membership record
+		// losslessly: it is the store plane's own bootstrap state.
+		s := factory(t)
+		members := []string{"10.0.0.2:7070", "10.0.0.1:7070", "10.0.0.3:7070"}
+		if err := s.Put(ctx, objstore.MembersKey, objstore.EncodeMembers(members)); err != nil {
+			t.Fatalf("Put(members): %v", err)
+		}
+		blob, err := s.Get(ctx, objstore.MembersKey)
+		if err != nil {
+			t.Fatalf("Get(members): %v", err)
+		}
+		got, err := objstore.DecodeMembers(blob)
+		if err != nil {
+			t.Fatalf("DecodeMembers: %v", err)
+		}
+		want := []string{"10.0.0.1:7070", "10.0.0.2:7070", "10.0.0.3:7070"}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("DecodeMembers = %v, want %v (sorted)", got, want)
+		}
+		// A corrupt record — duplicate or blank addresses would silently
+		// skew rendezvous hashing — must decode to the typed error, and
+		// the round trip must preserve the corruption for decode to catch
+		// (not "helpfully" dedupe it in transit).
+		for _, bad := range [][]byte{
+			[]byte("10.0.0.1:7070\n10.0.0.1:7070"),
+			[]byte("10.0.0.1:7070\n\n10.0.0.2:7070"),
+			[]byte(""),
+		} {
+			if err := s.Put(ctx, objstore.MembersKey, bad); err != nil {
+				t.Fatalf("Put(bad record): %v", err)
+			}
+			blob, err := s.Get(ctx, objstore.MembersKey)
+			if err != nil {
+				t.Fatalf("Get(bad record): %v", err)
+			}
+			if _, err := objstore.DecodeMembers(blob); !errors.Is(err, objstore.ErrInvalidMembers) {
+				t.Fatalf("DecodeMembers(%q) = %v, want ErrInvalidMembers", bad, err)
+			}
+		}
+	})
+
 	t.Run("MissingKey", func(t *testing.T) {
 		s := factory(t)
 		if _, err := s.Get(ctx, "nope"); !errors.Is(err, objstore.ErrNotFound) {

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// ClientConfig configures a lookup client.
+type ClientConfig struct {
+	// DialTimeout bounds connection establishment; zero means 5s.
+	DialTimeout time.Duration
+}
+
+// Client issues embedding lookups against one serving replica over a
+// single redialing connection, mirroring ctrl.Client: a transport error
+// drops the connection and the next call redials.
+type Client struct {
+	addr string
+	cfg  ClientConfig
+
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// NewClient returns a client for the replica at addr. No connection is
+// made until the first lookup.
+func NewClient(addr string, cfg ClientConfig) *Client {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	return &Client{addr: addr, cfg: cfg}
+}
+
+// Addr returns the replica address this client targets.
+func (c *Client) Addr() string { return c.addr }
+
+// Lookup fetches the embedding vectors for a batch of indices from one
+// table. Every vector in the response was read from the single
+// committed checkpoint identified by the response's CkptID/Step.
+// A replica that has not loaded a checkpoint yet returns an error
+// wrapping ErrNotReady.
+func (c *Client) Lookup(ctx context.Context, tableID uint32, indices []uint32) (*wire.LookupResponse, error) {
+	body, err := wire.EncodeLookupRequest(&wire.LookupRequest{TableID: tableID, Indices: indices})
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		d := net.Dialer{Timeout: c.cfg.DialTimeout}
+		conn, err := d.DialContext(ctx, "tcp", c.addr)
+		if err != nil {
+			return nil, fmt.Errorf("serve: dial %s: %w", c.addr, err)
+		}
+		c.conn = conn
+		c.br = bufio.NewReaderSize(conn, 64<<10)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetDeadline(dl)
+	} else {
+		_ = c.conn.SetDeadline(time.Time{})
+	}
+	drop := func(err error) (*wire.LookupResponse, error) {
+		c.conn.Close()
+		c.conn, c.br = nil, nil
+		return nil, err
+	}
+	if err := writeLookupFrame(c.conn, body); err != nil {
+		return drop(fmt.Errorf("serve: lookup %s: %w", c.addr, err))
+	}
+	status, payload, err := readLookupResponse(c.br)
+	if err != nil {
+		return drop(fmt.Errorf("serve: lookup %s: %w", c.addr, err))
+	}
+	switch status {
+	case lookupStatusOK:
+		return wire.DecodeLookupResponse(payload)
+	case lookupStatusNotReady:
+		return nil, fmt.Errorf("serve: %s: %w", c.addr, ErrNotReady)
+	default:
+		return nil, fmt.Errorf("serve: %s: %s", c.addr, payload)
+	}
+}
+
+// Close closes the connection, if any.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn, c.br = nil, nil
+	}
+}

@@ -1,0 +1,496 @@
+// Package serve is the read plane: serving replicas that publish
+// checkpointed embeddings to inference traffic. A Replica subscribes to
+// the controller's announce endpoint (the CNC1 control plane's
+// opSubscribe/opAnnounce verbs), pulls the newest complete composite
+// from the object store once as its baseline, then applies each
+// incremental delta as its composite commits — maintaining an in-memory
+// dequantized table set that answers embedding lookups over framed TCP.
+//
+// Consistency model: every lookup response is served from exactly one
+// committed checkpoint. Deltas are applied onto cloned copies of only
+// the touched tables, assembled into a fresh immutable table-set
+// version, and published with a single atomic pointer swap — readers
+// never observe a row mixing old and new delta state (no torn reads).
+// Staleness is allowed and unbounded: a partitioned replica keeps
+// serving its last version and converges (bit-identically — the apply
+// path is the same alias-decode/dequantize path recovery uses) after
+// healing, via announcements when the stream is alive and via periodic
+// re-sync polling when it is not.
+//
+// Fencing for readers: announcements carry the controller's epoch and
+// the replica drops events from epochs below the highest it has seen,
+// so a deposed controller cannot make a replica chase phantom
+// checkpoints. Announcements are only hints, though — state always
+// comes from committed manifests in the store, which the two-phase
+// commit guarantees are immutable once present.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ckpt"
+	"repro/internal/ctrl"
+	"repro/internal/embedding"
+	"repro/internal/objstore"
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+// ErrNotReady reports a lookup against a replica that has not yet
+// loaded its first complete checkpoint.
+var ErrNotReady = errors.New("serve: no checkpoint loaded yet")
+
+// Config configures a serving replica.
+type Config struct {
+	// JobID is the checkpoint job to serve.
+	JobID string
+	// Store is the replica's object-store connection (routed or single;
+	// caller-owned, not closed by the replica).
+	Store objstore.Store
+	// AnnounceAddr is the controller's announce endpoint. Empty means
+	// poll-only: the replica discovers new checkpoints solely via the
+	// ResyncEvery ticker.
+	AnnounceAddr string
+	// ListenAddr is the lookup listen address; empty means
+	// "127.0.0.1:0".
+	ListenAddr string
+	// Decoders overrides chunk-decode parallelism (see
+	// ckpt.Restorer.SetDecoders); zero keeps the default.
+	Decoders int
+	// ResyncEvery is the store re-sync polling period — the fallback
+	// that converges a replica whose announce stream is dead or
+	// partitioned. Zero means 2s.
+	ResyncEvery time.Duration
+	// SyncTimeout bounds one catch-up pass against the store (listing,
+	// chain fetch, chunk apply). Zero means 60s.
+	SyncTimeout time.Duration
+	// DialTimeout bounds the subscribe handshake; zero means 5s.
+	DialTimeout time.Duration
+	// Logf receives diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// tableSet is one immutable published version: the replica's tables as
+// of composite checkpoint id. Lookups resolve against exactly one
+// tableSet; apply builds the next one aside and swaps the pointer.
+type tableSet struct {
+	id     int
+	step   uint64
+	tables map[int]*embedding.Table
+}
+
+// Table satisfies ckpt.TableSet during delta application.
+func (v *tableSet) Table(id int) *embedding.Table { return v.tables[id] }
+
+// Replica is a serving replica. Start it with Start; it is safe for
+// concurrent lookups while deltas land.
+type Replica struct {
+	cfg  Config
+	logf func(format string, args ...any)
+	rest *ckpt.Restorer
+
+	cur   atomic.Pointer[tableSet]
+	epoch atomic.Uint64
+
+	srv  *server
+	wake chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	sub    *ctrl.Subscription
+	closed bool
+}
+
+// Start launches a replica: it begins listening for lookups
+// immediately (answering ErrNotReady until the first complete composite
+// is loaded), starts the catch-up loop, and — when AnnounceAddr is set
+// — maintains a subscription to the controller's announce stream.
+func Start(cfg Config) (*Replica, error) {
+	if cfg.JobID == "" {
+		return nil, fmt.Errorf("serve: empty job ID")
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("serve: nil store")
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.ResyncEvery <= 0 {
+		cfg.ResyncEvery = 2 * time.Second
+	}
+	if cfg.SyncTimeout <= 0 {
+		cfg.SyncTimeout = 60 * time.Second
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rest, err := ckpt.NewRestorer(cfg.JobID, cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Decoders > 0 {
+		rest.SetDecoders(cfg.Decoders)
+	}
+	r := &Replica{
+		cfg:  cfg,
+		logf: logf,
+		rest: rest,
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	r.srv, err = newServer(cfg.ListenAddr, r)
+	if err != nil {
+		return nil, err
+	}
+	r.kick() // bootstrap attempt without waiting for the first tick
+	r.wg.Add(1)
+	go r.applyLoop()
+	if cfg.AnnounceAddr != "" {
+		r.wg.Add(1)
+		go r.subscribeLoop()
+	}
+	return r, nil
+}
+
+// Addr returns the lookup endpoint address.
+func (r *Replica) Addr() string { return r.srv.Addr() }
+
+// Served returns the checkpoint currently being served: its composite
+// ID and step, or (-1, 0) before the first load.
+func (r *Replica) Served() (id int, step uint64) {
+	v := r.cur.Load()
+	if v == nil {
+		return -1, 0
+	}
+	return v.id, v.step
+}
+
+// WaitForCheckpoint blocks until the replica serves checkpoint id or
+// newer, or the context expires.
+func (r *Replica) WaitForCheckpoint(ctx context.Context, id int) error {
+	for {
+		if got, _ := r.Served(); got >= id {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			got, _ := r.Served()
+			return fmt.Errorf("serve: waiting for checkpoint %d (at %d): %w", id, got, ctx.Err())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// Close stops serving and releases all resources except the store.
+func (r *Replica) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	sub := r.sub
+	r.mu.Unlock()
+	close(r.done)
+	if sub != nil {
+		sub.Close()
+	}
+	r.srv.Close()
+	r.wg.Wait()
+}
+
+// kick schedules a catch-up pass if one is not already pending.
+func (r *Replica) kick() {
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+// observeEpoch folds a seen controller epoch into the replica's fence.
+// It reports whether the epoch is current (>= the highest seen).
+func (r *Replica) observeEpoch(e uint64) bool {
+	for {
+		cur := r.epoch.Load()
+		if e < cur {
+			return false
+		}
+		if e == cur || r.epoch.CompareAndSwap(cur, e) {
+			return true
+		}
+	}
+}
+
+// applyLoop is the single writer of r.cur: it wakes on announcements
+// and on the re-sync ticker, and runs one catch-up pass per wake.
+func (r *Replica) applyLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.cfg.ResyncEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-r.wake:
+		case <-tick.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), r.cfg.SyncTimeout)
+		err := r.syncOnce(ctx)
+		cancel()
+		if err != nil {
+			select {
+			case <-r.done:
+				return
+			default:
+			}
+			r.logf("serve %s: sync: %v", r.cfg.JobID, err)
+		}
+	}
+}
+
+// syncOnce advances the served version to the newest complete composite
+// if the replica is behind. Announcement-free progress: it works from
+// the store listing alone, so it also heals replicas whose announce
+// stream died.
+func (r *Replica) syncOnce(ctx context.Context) error {
+	mans, err := r.rest.ListManifests(ctx)
+	if err != nil {
+		return err
+	}
+	var target *wire.Manifest
+	for i := len(mans) - 1; i >= 0; i-- {
+		ok, err := r.rest.Complete(ctx, mans[i])
+		if err != nil {
+			return err
+		}
+		if ok {
+			target = mans[i]
+			break
+		}
+	}
+	if target == nil {
+		return nil // nothing committed yet
+	}
+	cur := r.cur.Load()
+	if cur != nil && cur.id >= target.ID {
+		return nil
+	}
+	next, err := r.advance(ctx, target, cur)
+	if err != nil && cur != nil {
+		// The delta path can lose a race with GC (an intermediate link
+		// swept between listing and fetch): fall back to a full rebuild
+		// from the newest complete composite.
+		r.logf("serve %s: delta apply %d -> %d failed (%v); rebuilding from scratch",
+			r.cfg.JobID, cur.id, target.ID, err)
+		next, err = r.advance(ctx, target, nil)
+	}
+	if err != nil {
+		return err
+	}
+	r.cur.Store(next)
+	r.logf("serve %s: serving checkpoint %d (step %d, %d tables)",
+		r.cfg.JobID, next.id, next.step, len(next.tables))
+	return nil
+}
+
+// advance builds the table-set version for target on top of cur (nil
+// means bootstrap from the baseline). Only tables touched by the
+// applied links are cloned; untouched tables are shared with cur —
+// they are immutable once published, so sharing is safe.
+//
+// Correctness across delta policies: for each shard the restore chain
+// for target is resolved (ckpt.Restorer.Chain handles full, one-shot
+// SinceBase, and consecutive chains) and every link newer than cur is
+// applied in order. A SinceBase link carries all rows modified since
+// its base — a superset of the rows modified since cur (cur is at or
+// past the base, or it would have been rebuilt) — so skipping links at
+// or before cur never loses writes.
+func (r *Replica) advance(ctx context.Context, target *wire.Manifest, cur *tableSet) (*tableSet, error) {
+	curID := -1
+	if cur != nil {
+		curID = cur.id
+	}
+	type shardChain struct {
+		sub   *ckpt.Restorer
+		links []*wire.Manifest
+	}
+	var chains []shardChain
+	if target.Composite() {
+		for s := 0; s < target.ShardCount; s++ {
+			sub, err := ckpt.NewRestorer(wire.ShardJobID(r.cfg.JobID, s), r.cfg.Store)
+			if err != nil {
+				return nil, err
+			}
+			if r.cfg.Decoders > 0 {
+				sub.SetDecoders(r.cfg.Decoders)
+			}
+			chain, err := sub.Chain(ctx, target.ID)
+			if err != nil {
+				return nil, fmt.Errorf("serve: shard %d chain: %w", s, err)
+			}
+			sc := shardChain{sub: sub}
+			for _, m := range chain {
+				if m.ID > curID {
+					sc.links = append(sc.links, m)
+				}
+			}
+			chains = append(chains, sc)
+		}
+	} else {
+		// Single-writer job (no composite): the job-level chain is the
+		// one and only "shard".
+		chain, err := r.rest.Chain(ctx, target.ID)
+		if err != nil {
+			return nil, err
+		}
+		sc := shardChain{sub: r.rest}
+		for _, m := range chain {
+			if m.ID > curID {
+				sc.links = append(sc.links, m)
+			}
+		}
+		chains = append(chains, sc)
+	}
+
+	// Copy-on-write table set: carry every current table over, clone
+	// the ones the links will write, allocate the ones we do not have.
+	tables := make(map[int]*embedding.Table)
+	if cur != nil {
+		for id, t := range cur.tables {
+			tables[id] = t
+		}
+	}
+	cloned := make(map[int]bool)
+	for _, sc := range chains {
+		for _, m := range sc.links {
+			for i := range m.Tables {
+				tm := &m.Tables[i]
+				if t, ok := tables[tm.TableID]; ok {
+					if !cloned[tm.TableID] {
+						tables[tm.TableID] = t.Clone()
+						cloned[tm.TableID] = true
+					}
+				} else {
+					tables[tm.TableID] = &embedding.Table{
+						ID:      tm.TableID,
+						Rows:    tm.Rows,
+						Dim:     tm.Dim,
+						Weights: tensor.NewMatrix(tm.Rows, tm.Dim),
+						Accum:   make([]float32, tm.Rows),
+					}
+					cloned[tm.TableID] = true
+				}
+			}
+		}
+	}
+	next := &tableSet{id: target.ID, step: target.Step, tables: tables}
+	for _, sc := range chains {
+		for _, m := range sc.links {
+			res := &ckpt.RestoreResult{}
+			if err := sc.sub.ApplyManifest(ctx, m, next, res); err != nil {
+				return nil, fmt.Errorf("serve: apply %d: %w", m.ID, err)
+			}
+		}
+	}
+	if target.Composite() {
+		// The composite's own table entries carry no chunks; applying it
+		// is the cross-shard shape sanity check recovery also runs.
+		if err := r.rest.ApplyManifest(ctx, target, next, &ckpt.RestoreResult{}); err != nil {
+			return nil, err
+		}
+	}
+	return next, nil
+}
+
+// subscribeLoop keeps one announce subscription alive, re-dialing with
+// jittered backoff; each current-epoch announcement kicks a catch-up
+// pass. Loss of the stream is not fatal — applyLoop's ticker still
+// converges the replica.
+func (r *Replica) subscribeLoop() {
+	defer r.wg.Done()
+	bo := ctrl.NewBackoff(100*time.Millisecond, 2*time.Second)
+	for {
+		select {
+		case <-r.done:
+			return
+		default:
+		}
+		dctx, cancel := context.WithTimeout(context.Background(), r.cfg.DialTimeout)
+		sub, err := ctrl.Subscribe(dctx, r.cfg.AnnounceAddr, r.cfg.JobID)
+		cancel()
+		if err != nil {
+			select {
+			case <-r.done:
+				return
+			case <-time.After(bo.Next()):
+			}
+			continue
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			sub.Close()
+			return
+		}
+		r.sub = sub
+		r.mu.Unlock()
+		r.observeEpoch(sub.Reply().Epoch)
+		r.logf("serve %s: subscribed to %s (epoch %d, next id %d)",
+			r.cfg.JobID, r.cfg.AnnounceAddr, sub.Reply().Epoch, sub.Reply().NextID)
+		r.kick()
+		for {
+			ev, epoch, err := sub.Next(context.Background())
+			if err != nil {
+				break
+			}
+			if !r.observeEpoch(epoch) {
+				// Fenced: a deposed controller is still announcing. Ignore
+				// the hint; committed manifests are the source of truth.
+				r.logf("serve %s: dropping announcement of ckpt %d from stale epoch %d (at %d)",
+					r.cfg.JobID, ev.CkptID, epoch, r.epoch.Load())
+				continue
+			}
+			r.kick()
+		}
+		sub.Close()
+		r.mu.Lock()
+		r.sub = nil
+		r.mu.Unlock()
+		select {
+		case <-r.done:
+			return
+		case <-time.After(bo.Next()):
+		}
+	}
+}
+
+// lookup answers one batch lookup from the current version.
+func (r *Replica) lookup(req *wire.LookupRequest) (*wire.LookupResponse, error) {
+	v := r.cur.Load()
+	if v == nil {
+		return nil, ErrNotReady
+	}
+	tab := v.tables[int(req.TableID)]
+	if tab == nil {
+		return nil, fmt.Errorf("serve: no table %d", req.TableID)
+	}
+	out := make([]float32, 0, len(req.Indices)*tab.Dim)
+	for _, idx := range req.Indices {
+		if int(idx) >= tab.Rows {
+			return nil, fmt.Errorf("serve: table %d index %d out of range [0,%d)", req.TableID, idx, tab.Rows)
+		}
+		out = append(out, tab.Lookup(int(idx))...)
+	}
+	return &wire.LookupResponse{CkptID: v.id, Step: v.step, Dim: uint32(tab.Dim), Vectors: out}, nil
+}

@@ -1,0 +1,372 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/ctrl"
+	"repro/internal/data"
+	"repro/internal/embedding"
+	"repro/internal/model"
+	"repro/internal/objstore"
+	"repro/internal/wire"
+)
+
+func testModelConfig() model.Config {
+	cfg := model.DefaultConfig()
+	cfg.Tables = []embedding.TableSpec{
+		{Rows: 256, Dim: 16}, {Rows: 128, Dim: 16}, {Rows: 512, Dim: 16},
+	}
+	return cfg
+}
+
+func testDataSpec() data.Spec {
+	spec := data.DefaultSpec()
+	spec.TableRows = []int{256, 128, 512}
+	return spec
+}
+
+// harness is an in-process write plane: a trained model committing
+// composites through a ckpt.Coordinator, with per-checkpoint reference
+// copies of every table for bit-exact read verification.
+type harness struct {
+	t     *testing.T
+	m     *model.DLRM
+	gen   *data.Generator
+	coord *ckpt.Coordinator
+	step  uint64
+
+	mu   sync.Mutex
+	refs map[int]map[int][]float32 // ckptID -> tableID -> flat weights
+}
+
+func newHarness(t *testing.T, store objstore.Store, keepLast int) *harness {
+	t.Helper()
+	m, err := model.New(testModelConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := data.NewGenerator(testDataSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := ckpt.NewCoordinator(ckpt.CoordinatorConfig{
+		Config: ckpt.Config{
+			JobID:    "serve-test",
+			Store:    store,
+			Policy:   ckpt.PolicyOneShot,
+			KeepLast: keepLast,
+		},
+		Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harness{t: t, m: m, gen: gen, coord: coord, refs: make(map[int]map[int][]float32)}
+}
+
+// commit trains one batch further and commits a composite, recording
+// the reference table state under the resulting checkpoint ID.
+func (h *harness) commit(ctx context.Context) *wire.Manifest {
+	h.m.TrainBatch(h.gen.NextBatch(16))
+	h.step++
+	snap, err := ckpt.TakeSnapshot(h.m, h.step, data.ReaderState{NextSample: h.gen.Pos(), BatchSize: 16})
+	if err != nil {
+		h.t.Error(err)
+		return nil
+	}
+	ref := make(map[int][]float32)
+	for _, tab := range h.m.Sparse.Tables {
+		ref[tab.ID] = append([]float32(nil), tab.Weights.Data...)
+	}
+	man, err := h.coord.Write(ctx, snap)
+	if err != nil {
+		h.t.Error(err)
+		return nil
+	}
+	h.mu.Lock()
+	h.refs[man.ID] = ref
+	h.mu.Unlock()
+	return man
+}
+
+// verify checks that resp's vectors for (tableID, indices) bit-match
+// the reference copy of the checkpoint the response claims to serve.
+func (h *harness) verify(resp *wire.LookupResponse, tableID int, indices []uint32) error {
+	h.mu.Lock()
+	ref, ok := h.refs[resp.CkptID]
+	h.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("response claims checkpoint %d, which was never committed", resp.CkptID)
+	}
+	tab := ref[tableID]
+	dim := int(resp.Dim)
+	if len(resp.Vectors) != len(indices)*dim {
+		return fmt.Errorf("got %d floats for %d indices of dim %d", len(resp.Vectors), len(indices), dim)
+	}
+	for i, idx := range indices {
+		for d := 0; d < dim; d++ {
+			got := resp.Vectors[i*dim+d]
+			want := tab[int(idx)*dim+d]
+			if got != want {
+				return fmt.Errorf("ckpt %d table %d row %d[%d]: got %x, want %x — rows mixing checkpoint states",
+					resp.CkptID, tableID, idx, d, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+func TestReplicaServesCommittedCheckpointsBitExactly(t *testing.T) {
+	store := objstore.NewMemStore(objstore.MemConfig{})
+	h := newHarness(t, store, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Baseline committed before the replica starts: bootstrap path.
+	man0 := h.commit(ctx)
+	if man0 == nil {
+		t.FailNow()
+	}
+
+	rep, err := Start(Config{
+		JobID:       "serve-test",
+		Store:       store,
+		ResyncEvery: 25 * time.Millisecond, // poll-only: no announce endpoint
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	if err := rep.WaitForCheckpoint(ctx, man0.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	cl := NewClient(rep.Addr(), ClientConfig{})
+	defer cl.Close()
+	rows := testDataSpec().TableRows
+	check := func(wantID int) {
+		t.Helper()
+		for tid, n := range rows {
+			indices := make([]uint32, n)
+			for i := range indices {
+				indices[i] = uint32(i)
+			}
+			resp, err := cl.Lookup(ctx, uint32(tid), indices)
+			if err != nil {
+				t.Fatalf("lookup table %d: %v", tid, err)
+			}
+			if resp.CkptID != wantID {
+				t.Fatalf("served ckpt %d, want %d", resp.CkptID, wantID)
+			}
+			if err := h.verify(resp, tid, indices); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	check(man0.ID)
+
+	// Two incremental deltas committed while the replica is live: the
+	// delta-apply path, each converging bit-exactly.
+	for i := 0; i < 2; i++ {
+		man := h.commit(ctx)
+		if man == nil {
+			t.FailNow()
+		}
+		if err := rep.WaitForCheckpoint(ctx, man.ID); err != nil {
+			t.Fatal(err)
+		}
+		check(man.ID)
+	}
+}
+
+func TestReplicaFollowsAnnounceStream(t *testing.T) {
+	store := objstore.NewMemStore(objstore.MemConfig{})
+	h := newHarness(t, store, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	ann, err := ctrl.NewAnnouncer("127.0.0.1:0", "serve-test", t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ann.Close()
+
+	rep, err := Start(Config{
+		JobID:        "serve-test",
+		Store:        store,
+		AnnounceAddr: ann.Addr(),
+		// Resync slow enough that only announcements can explain fast
+		// convergence: this proves the push path works.
+		ResyncEvery: 30 * time.Second,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	// Wait for the subscription to be up before committing, then each
+	// commit+announce must reach the replica well inside the resync
+	// period.
+	waitFor(t, 10*time.Second, func() bool { return ann.Subscribers() == 1 })
+	for i := 0; i < 3; i++ {
+		man := h.commit(ctx)
+		if man == nil {
+			t.FailNow()
+		}
+		ann.Announce(1, man)
+		wctx, wcancel := context.WithTimeout(ctx, 10*time.Second)
+		err := rep.WaitForCheckpoint(wctx, man.ID)
+		wcancel()
+		if err != nil {
+			t.Fatalf("replica did not converge on announcement: %v", err)
+		}
+	}
+
+	// A stale-epoch announcement is fenced: it must not regress or
+	// perturb the replica (nothing to observe but "still serving").
+	ann.Announce(0, &wire.Manifest{ID: 99, Step: 999, Kind: wire.KindIncremental.String()})
+	time.Sleep(50 * time.Millisecond)
+	if id, _ := rep.Served(); id != 2 {
+		t.Fatalf("served id = %d after stale announcement, want 2", id)
+	}
+}
+
+func TestReplicaNotReadyBeforeFirstCheckpoint(t *testing.T) {
+	store := objstore.NewMemStore(objstore.MemConfig{})
+	rep, err := Start(Config{JobID: "empty-job", Store: store, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	cl := NewClient(rep.Addr(), ClientConfig{})
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := cl.Lookup(ctx, 0, []uint32{0}); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("lookup on empty job = %v, want ErrNotReady", err)
+	}
+	if id, _ := rep.Served(); id != -1 {
+		t.Fatalf("Served() = %d, want -1", id)
+	}
+}
+
+// TestReadUnderCommitNoTornReads is the read-under-commit race test:
+// lookup traffic hammers a replica while composites land concurrently,
+// and every single response must bit-match the reference state of
+// exactly the checkpoint it claims to serve — a row mixing old and new
+// delta state (a torn read) fails the comparison. Run under -race this
+// also proves the table-set swap is properly synchronized.
+func TestReadUnderCommitNoTornReads(t *testing.T) {
+	store := objstore.NewMemStore(objstore.MemConfig{})
+	h := newHarness(t, store, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	man0 := h.commit(ctx)
+	if man0 == nil {
+		t.FailNow()
+	}
+	rep, err := Start(Config{
+		JobID:       "serve-test",
+		Store:       store,
+		ResyncEvery: 5 * time.Millisecond, // aggressive: maximize swap frequency
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	if err := rep.WaitForCheckpoint(ctx, man0.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		readers = 4
+		commits = 6
+	)
+	rows := testDataSpec().TableRows
+	stop := make(chan struct{})
+	errCh := make(chan error, readers)
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			cl := NewClient(rep.Addr(), ClientConfig{})
+			defer cl.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tid := rng.Intn(len(rows))
+				indices := make([]uint32, 1+rng.Intn(32))
+				for i := range indices {
+					indices[i] = uint32(rng.Intn(rows[tid]))
+				}
+				resp, err := cl.Lookup(ctx, uint32(tid), indices)
+				if err != nil {
+					select {
+					case errCh <- fmt.Errorf("lookup: %w", err):
+					default:
+					}
+					return
+				}
+				if err := h.verify(resp, tid, indices); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(int64(w))
+	}
+
+	// Commit deltas while the readers run; give the replica a moment on
+	// each so reads actually land on multiple versions.
+	lastID := man0.ID
+	for i := 0; i < commits; i++ {
+		man := h.commit(ctx)
+		if man == nil {
+			break
+		}
+		lastID = man.ID
+		time.Sleep(30 * time.Millisecond)
+	}
+	if err := rep.WaitForCheckpoint(ctx, lastID); err != nil {
+		t.Error(err)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if id, _ := rep.Served(); id != lastID {
+		t.Fatalf("served id = %d after commits, want %d", id, lastID)
+	}
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,140 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Lookup frames are the read plane's payload encoding: a serving
+// replica answers embedding lookups over framed TCP (internal/serve
+// owns the connection framing; these are the body formats). All
+// integers little-endian.
+//
+//	Request:  u32 magic "LKP1" | u32 tableID | u32 n | n × u32 index
+//	Response: u32 magic "LKR1" | i64 ckptID | u64 step | u32 dim |
+//	          u32 n | n*dim × f32 vectors (row-major)
+const (
+	lookupReqMagic  = 0x4C4B5031 // "LKP1"
+	lookupRespMagic = 0x4C4B5231 // "LKR1"
+)
+
+// maxLookupIndices bounds one lookup batch; far above any real
+// inference batch, small enough to reject garbage frames cheaply.
+const maxLookupIndices = 1 << 20
+
+// LookupRequest asks a serving replica for a batch of embedding rows
+// from one table.
+type LookupRequest struct {
+	TableID uint32
+	Indices []uint32
+}
+
+// EncodeLookupRequest serializes a lookup request.
+func EncodeLookupRequest(req *LookupRequest) ([]byte, error) {
+	if len(req.Indices) == 0 {
+		return nil, fmt.Errorf("wire: empty lookup")
+	}
+	if len(req.Indices) > maxLookupIndices {
+		return nil, fmt.Errorf("wire: lookup batch %d exceeds limit %d", len(req.Indices), maxLookupIndices)
+	}
+	buf := make([]byte, 12+4*len(req.Indices))
+	binary.LittleEndian.PutUint32(buf, lookupReqMagic)
+	binary.LittleEndian.PutUint32(buf[4:], req.TableID)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(req.Indices)))
+	for i, idx := range req.Indices {
+		binary.LittleEndian.PutUint32(buf[12+4*i:], idx)
+	}
+	return buf, nil
+}
+
+// DecodeLookupRequest parses a lookup request.
+func DecodeLookupRequest(blob []byte) (*LookupRequest, error) {
+	if len(blob) < 12 {
+		return nil, fmt.Errorf("wire: lookup request too short: %d bytes", len(blob))
+	}
+	if m := binary.LittleEndian.Uint32(blob); m != lookupReqMagic {
+		return nil, fmt.Errorf("wire: bad lookup request magic 0x%08x", m)
+	}
+	n := binary.LittleEndian.Uint32(blob[8:])
+	if n == 0 || n > maxLookupIndices {
+		return nil, fmt.Errorf("wire: lookup batch %d out of range", n)
+	}
+	if uint32(len(blob)) != 12+4*n {
+		return nil, fmt.Errorf("wire: lookup request length %d != %d", len(blob), 12+4*n)
+	}
+	req := &LookupRequest{
+		TableID: binary.LittleEndian.Uint32(blob[4:]),
+		Indices: make([]uint32, n),
+	}
+	for i := range req.Indices {
+		req.Indices[i] = binary.LittleEndian.Uint32(blob[12+4*i:])
+	}
+	return req, nil
+}
+
+// LookupResponse carries the requested embedding vectors plus the
+// identity of the checkpoint they were served from — every vector in
+// one response comes from the same committed checkpoint (the replica's
+// atomic table-set swap guarantees it), so CkptID/Step let callers
+// reason about staleness and tests assert the no-torn-read invariant.
+type LookupResponse struct {
+	// CkptID is the composite checkpoint the vectors were read from.
+	CkptID int
+	// Step is that checkpoint's consistent-cut training step.
+	Step uint64
+	// Dim is the embedding dimension; Vectors holds len(Vectors)/Dim
+	// rows, row-major, in request order.
+	Dim     uint32
+	Vectors []float32
+}
+
+// EncodeLookupResponse serializes a lookup response.
+func EncodeLookupResponse(resp *LookupResponse) ([]byte, error) {
+	if resp.Dim == 0 || len(resp.Vectors)%int(resp.Dim) != 0 {
+		return nil, fmt.Errorf("wire: lookup response: %d floats not a multiple of dim %d", len(resp.Vectors), resp.Dim)
+	}
+	n := len(resp.Vectors) / int(resp.Dim)
+	if n > maxLookupIndices {
+		return nil, fmt.Errorf("wire: lookup response %d rows exceeds limit", n)
+	}
+	buf := make([]byte, 28+4*len(resp.Vectors))
+	binary.LittleEndian.PutUint32(buf, lookupRespMagic)
+	binary.LittleEndian.PutUint64(buf[4:], uint64(int64(resp.CkptID)))
+	binary.LittleEndian.PutUint64(buf[12:], resp.Step)
+	binary.LittleEndian.PutUint32(buf[20:], resp.Dim)
+	binary.LittleEndian.PutUint32(buf[24:], uint32(n))
+	for i, f := range resp.Vectors {
+		binary.LittleEndian.PutUint32(buf[28+4*i:], math.Float32bits(f))
+	}
+	return buf, nil
+}
+
+// DecodeLookupResponse parses a lookup response.
+func DecodeLookupResponse(blob []byte) (*LookupResponse, error) {
+	if len(blob) < 28 {
+		return nil, fmt.Errorf("wire: lookup response too short: %d bytes", len(blob))
+	}
+	if m := binary.LittleEndian.Uint32(blob); m != lookupRespMagic {
+		return nil, fmt.Errorf("wire: bad lookup response magic 0x%08x", m)
+	}
+	dim := binary.LittleEndian.Uint32(blob[20:])
+	n := binary.LittleEndian.Uint32(blob[24:])
+	if dim == 0 || n == 0 || n > maxLookupIndices {
+		return nil, fmt.Errorf("wire: lookup response shape %dx%d out of range", n, dim)
+	}
+	total := uint64(n) * uint64(dim)
+	if uint64(len(blob)) != 28+4*total {
+		return nil, fmt.Errorf("wire: lookup response length %d != %d", len(blob), 28+4*total)
+	}
+	resp := &LookupResponse{
+		CkptID:  int(int64(binary.LittleEndian.Uint64(blob[4:]))),
+		Step:    binary.LittleEndian.Uint64(blob[12:]),
+		Dim:     dim,
+		Vectors: make([]float32, total),
+	}
+	for i := range resp.Vectors {
+		resp.Vectors[i] = math.Float32frombits(binary.LittleEndian.Uint32(blob[28+4*i:]))
+	}
+	return resp, nil
+}
